@@ -1,0 +1,84 @@
+// Experiment E3 — reproduces Fig. 5: training throughput of enlarged
+// ResNet models (width factor 8, following Big Transfer), in the paper's
+// two settings:
+//   * 32 GPUs (4 nodes), batch 512: data parallelism vs RaNNC
+//   * 8 GPUs (1 node), batch 128: data parallelism vs GPipe-Model
+//     (torchgpipe: manual 8-stage balance, 64 microbatches) vs RaNNC
+// Megatron-LM and GPipe-Hybrid are inapplicable to ResNet (Section IV-A).
+#include <cstdio>
+#include <string>
+
+#include "baselines/data_parallel.h"
+#include "baselines/gpipe.h"
+#include "models/resnet.h"
+#include "partition/auto_partitioner.h"
+
+namespace {
+
+std::string cell(const rannc::BaselinePlan& p, std::int64_t bs) {
+  if (!p.feasible) return "OOM";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", p.throughput(bs));
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rannc;
+  ClusterSpec four_nodes;               // 32 GPUs
+  ClusterSpec one_node = four_nodes.single_node();  // 8 GPUs
+
+  std::printf("== Fig. 5: enlarged ResNet training throughput (samples/s) ==\n\n");
+
+  for (int depth : {50, 101, 152}) {
+    ResNetConfig rc;
+    rc.depth = depth;
+    rc.width_factor = 8;
+    BuiltModel rm = build_resnet(rc);
+    const double params_b = static_cast<double>(rm.graph.num_params()) / 1e9;
+
+    // ---- 32 GPUs, batch 512 ----
+    const BaselinePlan dp32 =
+        plan_data_parallel(rm, four_nodes, Precision::FP32, 512);
+    PartitionConfig cfg32;
+    cfg32.cluster = four_nodes;
+    cfg32.batch_size = 512;
+    const PartitionResult rn32 = auto_partition(rm.graph, cfg32);
+
+    // ---- 8 GPUs, batch 128 ----
+    const BaselinePlan dp8 =
+        plan_data_parallel(rm, one_node, Precision::FP32, 128);
+    const BaselinePlan gp8 = plan_gpipe_model(rm, one_node, 128, 64);
+    PartitionConfig cfg8;
+    cfg8.cluster = one_node;
+    cfg8.batch_size = 128;
+    const PartitionResult rn8 = auto_partition(rm.graph, cfg8);
+
+    std::printf("ResNet%dx8 (%.2fB params)\n", depth, params_b);
+    std::printf("  32 GPUs, batch 512: DataParallel %-8s RaNNC %s",
+                cell(dp32, 512).c_str(),
+                rn32.feasible ? std::to_string(rn32.throughput(512)).substr(0, 6).c_str()
+                              : "OOM");
+    if (rn32.feasible)
+      std::printf("  (S=%zu, MB=%d, R=%d)", rn32.stages.size(),
+                  rn32.microbatches, rn32.pipelines);
+    std::printf("\n");
+    std::printf("   8 GPUs, batch 128: DataParallel %-8s GPipe-Model %-8s RaNNC %s",
+                cell(dp8, 128).c_str(), cell(gp8, 128).c_str(),
+                rn8.feasible ? std::to_string(rn8.throughput(128)).substr(0, 6).c_str()
+                             : "OOM");
+    if (rn8.feasible)
+      std::printf("  (S=%zu, MB=%d)", rn8.stages.size(), rn8.microbatches);
+    std::printf("\n\n");
+  }
+
+  std::printf(
+      "Shape checks (paper Section IV-B):\n"
+      " * Data parallelism only trains the smallest enlarged ResNet.\n"
+      " * RaNNC and GPipe-Model train all of them; RaNNC outperforms\n"
+      "   GPipe-Model by a large margin in every setting (op-granular\n"
+      "   balance + automatically chosen microbatch count vs manual\n"
+      "   whole-layer balance with a fixed 64 microbatches).\n");
+  return 0;
+}

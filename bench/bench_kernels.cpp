@@ -1,0 +1,97 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: CPU tensor
+// kernels used by the execution runtime and the three partitioning phases.
+#include <benchmark/benchmark.h>
+
+#include "models/bert.h"
+#include "partition/atomic.h"
+#include "partition/block.h"
+#include "partition/stage_dp.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace rannc;
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Tensor a = Tensor::uniform(Shape{n, n}, 1.0f, 1);
+  Tensor b = Tensor::uniform(Shape{n, n}, 1.0f, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Softmax(benchmark::State& state) {
+  Tensor a = Tensor::uniform(Shape{state.range(0), 512}, 1.0f, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(softmax_lastdim(a));
+}
+BENCHMARK(BM_Softmax)->Arg(64)->Arg(512);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Tensor x = Tensor::uniform(Shape{state.range(0), 768}, 1.0f, 4);
+  Tensor g(Shape{768}, 1.0f);
+  Tensor b(Shape{768}, 0.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(layernorm(x, g, b));
+}
+BENCHMARK(BM_LayerNorm)->Arg(64)->Arg(512);
+
+void BM_Conv2d(benchmark::State& state) {
+  Tensor x = Tensor::uniform(Shape{1, 16, 32, 32}, 1.0f, 5);
+  Tensor w = Tensor::uniform(Shape{16, 16, 3, 3}, 1.0f, 6);
+  for (auto _ : state) benchmark::DoNotOptimize(conv2d(x, w, 1, 1));
+}
+BENCHMARK(BM_Conv2d);
+
+BuiltModel bench_bert(std::int64_t layers) {
+  BertConfig c;
+  c.hidden = 1024;
+  c.layers = layers;
+  return build_bert(c);
+}
+
+void BM_AtomicPartition(benchmark::State& state) {
+  BuiltModel m = bench_bert(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(atomic_partition(m.graph));
+}
+BENCHMARK(BM_AtomicPartition)->Arg(24)->Arg(96);
+
+void BM_BlockPartition(benchmark::State& state) {
+  BuiltModel m = bench_bert(state.range(0));
+  AtomicPartition ap = atomic_partition(m.graph);
+  GraphProfiler prof(ap.graph, DeviceSpec{});
+  BlockPartitionConfig cfg;
+  cfg.k = 32;
+  cfg.profile_batch = 8;
+  for (auto _ : state) benchmark::DoNotOptimize(block_partition(ap, prof, cfg));
+}
+BENCHMARK(BM_BlockPartition)->Arg(24)->Arg(96);
+
+void BM_StageDp(benchmark::State& state) {
+  // Synthetic 32-unit DP at the paper's scale: S stages over 8 devices.
+  const int N = 32;
+  std::vector<double> w(N, 1.0);
+  for (int i = 0; i < N; ++i) w[static_cast<std::size_t>(i)] += 0.1 * (i % 5);
+  StageDpInput in;
+  in.num_units = N;
+  in.num_stages = static_cast<int>(state.range(0));
+  in.num_devices = 8;
+  in.batch_size = 256;
+  in.replica_factor = 4;
+  in.microbatches = 8;
+  in.device_memory = 1LL << 40;
+  in.profile = [&w](int lo, int hi, std::int64_t bsize, int, int) {
+    StageProfile p;
+    double t = 0;
+    for (int i = lo; i < hi; ++i) t += w[static_cast<std::size_t>(i)];
+    p.t_f = t * static_cast<double>(bsize) * 1e-3;
+    p.t_b = 2 * p.t_f;
+    p.mem = 1;
+    return p;
+  };
+  for (auto _ : state) benchmark::DoNotOptimize(form_stage_dp(in));
+}
+BENCHMARK(BM_StageDp)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

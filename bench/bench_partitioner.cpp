@@ -1,0 +1,124 @@
+// Experiment E6 — partitioning cost and quality diagnostics supporting the
+// Fig. 2/3 narrative and the design-choice ablations called out in
+// DESIGN.md:
+//  * atomic component counts vs model depth (paper: ~15k at 256 layers);
+//  * block-count (k) sweep: balance quality vs search cost (paper fixes 32);
+//  * balance-refinement ablation;
+//  * DP search-space statistics (cells, memoized profile queries).
+#include <cstdio>
+
+#include "models/bert.h"
+#include "partition/atomic.h"
+#include "partition/auto_partitioner.h"
+#include "partition/block.h"
+#include "profiler/graph_profiler.h"
+
+int main() {
+  using namespace rannc;
+
+  std::printf("== Atomic component counts (BERT hidden 1024) ==\n");
+  std::printf("%-7s %-8s %-8s %-8s\n", "layers", "tasks", "atomic", "cloned");
+  for (std::int64_t L : {24LL, 96LL, 256LL}) {
+    BertConfig bc;
+    bc.hidden = 1024;
+    bc.layers = L;
+    BuiltModel bm = build_bert(bc);
+    AtomicPartition ap = atomic_partition(bm.graph);
+    std::printf("%-7lld %-8zu %-8zu %-8zu\n", static_cast<long long>(L),
+                ap.graph.num_tasks(), ap.comps.size(), ap.num_cloned_tasks);
+  }
+
+  std::printf("\n== Block count (k) sweep: BERT hidden 1024, 96 layers ==\n");
+  std::printf("%-5s %-12s %-12s %-10s %-10s\n", "k", "max/mean", "cut(MiB)",
+              "levels", "moves");
+  {
+    BertConfig bc;
+    bc.hidden = 1024;
+    bc.layers = 96;
+    BuiltModel bm = build_bert(bc);
+    AtomicPartition ap = atomic_partition(bm.graph);
+    GraphProfiler prof(ap.graph, DeviceSpec{});
+    for (int k : {8, 16, 32, 64}) {
+      BlockPartitionConfig cfg;
+      cfg.k = k;
+      cfg.profile_batch = 8;
+      BlockPartition bp = block_partition(ap, prof, cfg);
+      double mx = 0, sum = 0;
+      for (const Block& b : bp.blocks) {
+        mx = std::max(mx, b.time());
+        sum += b.time();
+      }
+      std::printf("%-5d %-12.3f %-12.1f %-10d %-10d\n", k,
+                  mx / (sum / static_cast<double>(bp.blocks.size())),
+                  static_cast<double>(bp.cut_bytes) / (1024.0 * 1024.0),
+                  bp.coarsen_levels, bp.uncoarsen_moves);
+    }
+  }
+
+  std::printf("\n== Uncoarsening ablation (k=32): inter-block traffic ==\n");
+  {
+    BertConfig bc;
+    bc.hidden = 1024;
+    bc.layers = 96;
+    BuiltModel bm = build_bert(bc);
+    AtomicPartition ap = atomic_partition(bm.graph);
+    GraphProfiler prof(ap.graph, DeviceSpec{});
+    for (bool unc : {false, true}) {
+      BlockPartitionConfig cfg;
+      cfg.k = 32;
+      cfg.profile_batch = 8;
+      cfg.uncoarsening = unc;
+      BlockPartition bp = block_partition(ap, prof, cfg);
+      std::printf("  uncoarsening %-3s: cut = %.1f MiB (%d boundary moves)\n",
+                  unc ? "on" : "off",
+                  static_cast<double>(bp.cut_bytes) / (1024.0 * 1024.0),
+                  bp.uncoarsen_moves);
+    }
+  }
+
+  std::printf("\n== Balance-refinement ablation (k=32) ==\n");
+  {
+    BertConfig bc;
+    bc.hidden = 1024;
+    bc.layers = 96;
+    BuiltModel bm = build_bert(bc);
+    AtomicPartition ap = atomic_partition(bm.graph);
+    GraphProfiler prof(ap.graph, DeviceSpec{});
+    for (bool refine : {false, true}) {
+      BlockPartitionConfig cfg;
+      cfg.k = 32;
+      cfg.profile_batch = 8;
+      cfg.balance_refinement = refine;
+      BlockPartition bp = block_partition(ap, prof, cfg);
+      double mx = 0, mn = 1e30;
+      for (const Block& b : bp.blocks) {
+        mx = std::max(mx, b.time());
+        mn = std::min(mn, b.time());
+      }
+      std::printf("  refinement %-3s: block time spread max/min = %.2f\n",
+                  refine ? "on" : "off", mx / mn);
+    }
+  }
+
+  std::printf("\n== Full-search statistics (Algorithm 2) ==\n");
+  std::printf("%-7s %-7s %-10s %-12s %-12s %-12s %-8s\n", "hidden", "layers",
+              "blocks", "dp_invocs", "dp_cells", "profiles", "wall(s)");
+  for (std::int64_t h : {1024LL, 2048LL}) {
+    for (std::int64_t L : {24LL, 96LL, 256LL}) {
+      BertConfig bc;
+      bc.hidden = h;
+      bc.layers = L;
+      BuiltModel bm = build_bert(bc);
+      PartitionConfig cfg;
+      cfg.batch_size = 256;
+      PartitionResult r = auto_partition(bm.graph, cfg);
+      std::printf("%-7lld %-7lld %-10d %-12d %-12lld %-12lld %-8.2f\n",
+                  static_cast<long long>(h), static_cast<long long>(L),
+                  r.stats.blocks, r.stats.dp_invocations,
+                  static_cast<long long>(r.stats.dp_cells_visited),
+                  static_cast<long long>(r.stats.profile_queries),
+                  r.stats.wall_seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Experiment E1 — reproduces Table I ("Previous works on model
+// partitioning"): the qualitative feature matrix of the compared systems.
+#include <cstdio>
+
+#include "baselines/feature_table.h"
+
+int main() {
+  std::printf("== Table I: Previous works on model partitioning ==\n\n");
+  std::printf("%s\n", rannc::render_feature_table().c_str());
+  std::printf(
+      "RaNNC is the only system combining graph partitioning, hybrid\n"
+      "parallelism, automatic partitioning, memory estimation and\n"
+      "staleness-free (synchronous) pipeline execution.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Partition an enlarged BERT for the paper's 4-node x 8-V100 cluster and
+// compare the automatic plan against the manual baselines.
+//
+// Usage: ./examples/bert_partition [hidden] [layers] [batch]
+//        (defaults: 1024 48 256 — a 670M-parameter BERT)
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/data_parallel.h"
+#include "baselines/gpipe.h"
+#include "baselines/megatron.h"
+#include "baselines/pipedream.h"
+#include "models/bert.h"
+#include "partition/auto_partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace rannc;
+  BertConfig bc;
+  bc.hidden = argc > 1 ? std::atoll(argv[1]) : 1024;
+  bc.layers = argc > 2 ? std::atoll(argv[2]) : 48;
+  const std::int64_t BS = argc > 3 ? std::atoll(argv[3]) : 256;
+
+  std::printf("building BERT hidden=%lld layers=%lld seq=%lld ...\n",
+              static_cast<long long>(bc.hidden),
+              static_cast<long long>(bc.layers),
+              static_cast<long long>(bc.seq_len));
+  BuiltModel bm = build_bert(bc);
+  std::printf("  %zu tasks, %zu values, %.2fB parameters\n\n",
+              bm.graph.num_tasks(), bm.graph.num_values(),
+              static_cast<double>(bm.graph.num_params()) / 1e9);
+
+  PartitionConfig cfg;
+  cfg.batch_size = BS;  // default cluster = paper testbed
+  PartitionResult plan = auto_partition(bm.graph, cfg);
+
+  std::printf("== RaNNC automatic plan ==\n%s", describe(plan).c_str());
+  std::printf(
+      "search: %zu atomic components -> %d blocks "
+      "(%d coarsen levels, %d refinement moves), %lld DP cells, %.2fs\n\n",
+      plan.stats.atomic_components, plan.stats.blocks,
+      plan.stats.coarsen_levels, plan.stats.uncoarsen_moves,
+      static_cast<long long>(plan.stats.dp_cells_visited),
+      plan.stats.wall_seconds);
+
+  std::printf("== manual baselines on the same model/cluster ==\n");
+  auto report = [&](const BaselinePlan& p) {
+    if (p.feasible)
+      std::printf("  %-14s %8.1f samples/s (stages=%d replicas=%d tp=%d mb=%d)\n",
+                  p.framework.c_str(), p.throughput(BS), p.stages, p.replicas,
+                  p.tensor_parallel, p.microbatches);
+    else
+      std::printf("  %-14s %s\n", p.framework.c_str(), p.reason.c_str());
+  };
+  report(plan_data_parallel(bm, cfg.cluster, Precision::FP32, BS));
+  report(plan_megatron(bm, cfg.cluster, Precision::FP32, BS));
+  report(plan_gpipe_hybrid(bm, cfg.cluster, BS));
+  report(plan_pipedream_2bw(bm, cfg.cluster, BS));
+  if (plan.feasible)
+    std::printf("  %-14s %8.1f samples/s\n", "RaNNC", plan.throughput(BS));
+  return 0;
+}

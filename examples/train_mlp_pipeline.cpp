@@ -1,0 +1,96 @@
+// Real distributed-style training demo: train an MLP classifier on a
+// synthetic task, with the model partitioned by RaNNC and executed on the
+// multi-threaded pipeline runtime, side by side with single-device
+// training. Prints both loss curves — they coincide (the staleness-free
+// guarantee, validated quantitatively in bench_loss_parity).
+//
+// Usage: ./examples/train_mlp_pipeline [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "models/mlp.h"
+#include "partition/auto_partitioner.h"
+#include "runtime/pipeline_runtime.h"
+#include "runtime/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace rannc;
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 120;
+
+  MlpConfig mc;
+  mc.input_dim = 20;
+  mc.hidden_dims = {64, 64, 64};
+  mc.num_classes = 5;
+  mc.batch = 8;
+  BuiltModel model = build_mlp(mc);
+
+  PartitionConfig cfg;
+  cfg.cluster.num_nodes = 1;
+  cfg.cluster.devices_per_node = 3;
+  cfg.cluster.device.memory_bytes = 5 * model.graph.num_params() * 4;  // > model state, < state + activations
+  cfg.batch_size = 16;
+  cfg.num_blocks = 6;
+  PartitionResult plan = auto_partition(model.graph, cfg);
+  if (!plan.feasible) {
+    std::printf("infeasible: %s\n", plan.infeasible_reason.c_str());
+    return 1;
+  }
+  std::printf("%s\n", describe(plan).c_str());
+
+  std::vector<std::vector<TaskId>> stages;
+  for (const StagePlan& s : plan.stages) stages.push_back(s.tasks);
+  OptimizerConfig oc;
+  oc.kind = OptimizerConfig::Kind::Adam;
+  oc.lr = 0.01f;
+  PipelineOptions popt;
+  popt.opt = oc;
+  popt.seed = 7;
+  popt.recompute = true;
+  PipelineTrainer pipeline(*plan.graph, stages, popt);
+  Trainer single(*plan.graph, oc, /*seed=*/7);
+
+  const ValueId xin = plan.graph->input_values()[0];
+  const ValueId yin = plan.graph->input_values()[1];
+  const Shape& xs = plan.graph->value(xin).shape;
+
+  // Synthetic separable task: label = argmax over 5 fixed projections.
+  Tensor proj = Tensor::uniform(Shape{mc.input_dim, 5}, 1.0f, 999);
+  auto label_of = [&](const Tensor& x, std::int64_t row) {
+    int best = 0;
+    float bv = -1e30f;
+    for (int c = 0; c < 5; ++c) {
+      float acc = 0;
+      for (std::int64_t i = 0; i < mc.input_dim; ++i)
+        acc += x.at(row * mc.input_dim + i) * proj.at(i * 5 + c);
+      if (acc > bv) {
+        bv = acc;
+        best = c;
+      }
+    }
+    return static_cast<float>(best);
+  };
+
+  std::printf("%-6s %-14s %-14s\n", "step", "pipeline-loss", "single-loss");
+  for (int step = 0; step < steps; ++step) {
+    std::vector<TensorMap> mbs;
+    for (int j = 0; j < plan.microbatches; ++j) {
+      TensorMap mb;
+      Tensor x = Tensor::uniform(xs, 1.0f,
+                                 5000 + 17 * static_cast<std::uint64_t>(step) +
+                                     static_cast<std::uint64_t>(j));
+      Tensor y(Shape{xs.dims[0]});
+      for (std::int64_t i = 0; i < xs.dims[0]; ++i) y.at(i) = label_of(x, i);
+      mb.emplace(xin, std::move(x));
+      mb.emplace(yin, std::move(y));
+      mbs.push_back(std::move(mb));
+    }
+    const float lp = pipeline.step(mbs);
+    const float ls = single.step(mbs);
+    if (step % 20 == 0 || step == steps - 1)
+      std::printf("%-6d %-14.5f %-14.5f\n", step, lp, ls);
+  }
+  std::printf("\nThe curves coincide: a RaNNC partition changes *where* ops\n"
+              "run, never *what* is computed.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Common result type for the comparator-framework planners.
+//
+// Each planner models one of the systems the paper compares against
+// (Section IV-A "Baselines"), encoding exactly the structural capabilities
+// and restrictions the paper describes: what the framework can train
+// (feasibility / OOM) and how fast (iteration time under its scheduling
+// discipline). Planners never partition automatically at op granularity —
+// they consume the *manual* layer decomposition carried by BuiltModel,
+// which is the human effort RaNNC eliminates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rannc {
+
+struct BaselinePlan {
+  std::string framework;
+  bool feasible = false;
+  std::string reason;       ///< why infeasible (OOM, inapplicable, ...)
+  double iteration_time = 0;  ///< seconds per global mini-batch
+  int stages = 1;             ///< pipeline stages (1 = no pipeline)
+  int replicas = 1;           ///< data-parallel replicas (per stage)
+  int microbatches = 1;       ///< microbatches / gradient-accumulation steps
+  int tensor_parallel = 1;    ///< Megatron tensor-parallel ways
+  std::int64_t mem_per_device = 0;  ///< peak bytes on the busiest device
+
+  [[nodiscard]] double throughput(std::int64_t batch_size) const {
+    return feasible && iteration_time > 0
+               ? static_cast<double>(batch_size) / iteration_time
+               : 0.0;
+  }
+};
+
+}  // namespace rannc

@@ -1,0 +1,25 @@
+// PyTorch-DDP-style pure data parallelism (paper: "PyTorch's official
+// implementation as a simple type of data parallelism", Section IV-A).
+//
+// The whole model is replicated on every device; gradient accumulation
+// splits the per-device batch when activations would not fit. The model
+// itself (weights + grads + optimizer states) must fit a single device, so
+// this baseline OOMs first as models grow — the paper's Fig. 4/5 leftmost
+// bars.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline_plan.h"
+#include "cluster/cluster_spec.h"
+#include "models/built_model.h"
+#include "profiler/memory.h"
+
+namespace rannc {
+
+BaselinePlan plan_data_parallel(const BuiltModel& model,
+                                const ClusterSpec& cluster, Precision prec,
+                                std::int64_t batch_size,
+                                double memory_margin = 0.9);
+
+}  // namespace rannc

@@ -1,0 +1,37 @@
+#include "baselines/feature_table.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rannc {
+
+std::vector<FrameworkFeatures> framework_feature_table() {
+  return {
+      {"Mesh-TensorFlow / Megatron-LM", "Tensor", true, false, false, true},
+      {"OptCNN / FlexFlow / Tofu", "Tensor", true, true, false, true},
+      {"GPipe", "Graph", false, false, false, true},
+      {"AMPNet / XPipe", "Graph", false, false, false, false},
+      {"PipeDream / SpecTrain", "Graph", true, true, false, false},
+      {"PipeDream-2BW / HetPipe", "Graph", true, true, true, false},
+      {"RaNNC (Ours)", "Graph", true, true, true, true},
+  };
+}
+
+std::string render_feature_table() {
+  std::ostringstream os;
+  os << std::left << std::setw(32) << "Framework" << std::setw(8) << "Part."
+     << std::setw(8) << "Hybrid" << std::setw(8) << "Auto" << std::setw(10)
+     << "Mem.est." << std::setw(16) << "Staleness-free" << '\n';
+  os << std::string(78, '-') << '\n';
+  for (const FrameworkFeatures& f : framework_feature_table()) {
+    auto yn = [](bool b) { return b ? "Yes" : "No"; };
+    os << std::left << std::setw(32) << f.name << std::setw(8)
+       << f.partitioning << std::setw(8) << yn(f.hybrid_parallelism)
+       << std::setw(8) << yn(f.automatic) << std::setw(10)
+       << yn(f.memory_estimation) << std::setw(16) << yn(f.staleness_free)
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rannc

@@ -1,0 +1,24 @@
+// The Table I feature matrix ("Previous works on model partitioning").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rannc {
+
+struct FrameworkFeatures {
+  std::string name;
+  std::string partitioning;  // "Tensor" or "Graph"
+  bool hybrid_parallelism = false;
+  bool automatic = false;
+  bool memory_estimation = false;
+  bool staleness_free = false;
+};
+
+/// The rows of Table I, in the paper's order; RaNNC last.
+std::vector<FrameworkFeatures> framework_feature_table();
+
+/// Renders the table in the paper's layout.
+std::string render_feature_table();
+
+}  // namespace rannc

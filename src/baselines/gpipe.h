@@ -1,0 +1,35 @@
+// GPipe baselines (paper Section IV-A).
+//
+// * GPipe-Hybrid — the PipeDream-2BW authors' PyTorch port supporting
+//   hybrid parallelism: the encoder layers are split uniformly into S
+//   stages (S in {2,4,8,16}, layer count divisible by S), and every stage
+//   gets the SAME number of replicas (D / S). That uniform-replica
+//   restriction is the flexibility gap the paper credits for RaNNC's higher
+//   throughput. BERT-architecture only. Synchronous pipeline, gradient
+//   checkpointing and accumulation enabled. FP32 only (no AMP support).
+//
+// * GPipe-Model — torchgpipe: pure model parallelism on the GPUs of one
+//   node; the user manually balances whole layers across the 8 stages and
+//   fixes the microbatch count (the paper used 64).
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline_plan.h"
+#include "cluster/cluster_spec.h"
+#include "models/built_model.h"
+#include "profiler/device_spec.h"
+
+namespace rannc {
+
+BaselinePlan plan_gpipe_hybrid(const BuiltModel& model,
+                               const ClusterSpec& cluster,
+                               std::int64_t batch_size,
+                               double memory_margin = 0.9);
+
+BaselinePlan plan_gpipe_model(const BuiltModel& model,
+                              const ClusterSpec& cluster,
+                              std::int64_t batch_size, int microbatches = 64,
+                              double memory_margin = 0.9);
+
+}  // namespace rannc

@@ -1,0 +1,101 @@
+#include "baselines/layer_stages.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rannc {
+
+std::vector<std::vector<TaskId>> uniform_layer_stages(const BuiltModel& model,
+                                                      int num_stages) {
+  const auto total = static_cast<int>(model.layers.size());
+  if (total < 3 || num_stages < 2) return {};
+  const int encoders = total - 2;
+  if (encoders % num_stages != 0) return {};
+  const int per_stage = encoders / num_stages;
+
+  std::vector<std::vector<TaskId>> stages(
+      static_cast<std::size_t>(num_stages));
+  auto append = [&](int stage, const LayerSpan& span) {
+    auto tasks = span.tasks();
+    auto& dst = stages[static_cast<std::size_t>(stage)];
+    dst.insert(dst.end(), tasks.begin(), tasks.end());
+  };
+  append(0, model.layers.front());  // embedding
+  for (int i = 0; i < encoders; ++i)
+    append(i / per_stage, model.layers[static_cast<std::size_t>(i) + 1]);
+  append(num_stages - 1, model.layers.back());  // head
+  for (auto& s : stages) std::sort(s.begin(), s.end());
+  return stages;
+}
+
+std::vector<std::vector<TaskId>> balanced_layer_stages(
+    const BuiltModel& model, const GraphProfiler& prof, int num_stages,
+    std::int64_t bsize) {
+  const int L = static_cast<int>(model.layers.size());
+  if (L < num_stages || num_stages < 1) return {};
+
+  // Per-layer fwd+bwd time, then the classic linear-partition DP: split the
+  // sequence into `num_stages` contiguous chunks minimizing the maximum
+  // chunk time.
+  std::vector<double> prefix(static_cast<std::size_t>(L) + 1, 0);
+  for (int i = 0; i < L; ++i) {
+    double t = 0;
+    for (TaskId task : model.layers[static_cast<std::size_t>(i)].tasks())
+      t += prof.task_time_f(task, bsize, false) +
+           prof.task_time_b(task, bsize, false);
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] + t;
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  // best[s][i]: minimal bottleneck splitting the first i layers into s chunks.
+  std::vector<std::vector<double>> best(
+      static_cast<std::size_t>(num_stages) + 1,
+      std::vector<double>(static_cast<std::size_t>(L) + 1, inf));
+  std::vector<std::vector<int>> cut(best.size(),
+                                    std::vector<int>(best[0].size(), -1));
+  best[0][0] = 0;
+  for (int s = 1; s <= num_stages; ++s) {
+    for (int i = s; i <= L; ++i) {
+      for (int j = s - 1; j < i; ++j) {
+        if (best[static_cast<std::size_t>(s - 1)][static_cast<std::size_t>(j)] == inf)
+          continue;
+        const double chunk = prefix[static_cast<std::size_t>(i)] -
+                             prefix[static_cast<std::size_t>(j)];
+        const double v = std::max(
+            best[static_cast<std::size_t>(s - 1)][static_cast<std::size_t>(j)],
+            chunk);
+        if (v < best[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)]) {
+          best[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)] = v;
+          cut[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)] = j;
+        }
+      }
+    }
+  }
+  if (best[static_cast<std::size_t>(num_stages)][static_cast<std::size_t>(L)] ==
+      inf)
+    return {};
+
+  std::vector<int> bounds(static_cast<std::size_t>(num_stages) + 1, 0);
+  bounds[static_cast<std::size_t>(num_stages)] = L;
+  for (int s = num_stages; s >= 1; --s)
+    bounds[static_cast<std::size_t>(s - 1)] =
+        cut[static_cast<std::size_t>(s)][static_cast<std::size_t>(
+            bounds[static_cast<std::size_t>(s)])];
+
+  std::vector<std::vector<TaskId>> stages(
+      static_cast<std::size_t>(num_stages));
+  for (int s = 0; s < num_stages; ++s) {
+    for (int i = bounds[static_cast<std::size_t>(s)];
+         i < bounds[static_cast<std::size_t>(s) + 1]; ++i) {
+      auto tasks = model.layers[static_cast<std::size_t>(i)].tasks();
+      stages[static_cast<std::size_t>(s)].insert(
+          stages[static_cast<std::size_t>(s)].end(), tasks.begin(),
+          tasks.end());
+    }
+    std::sort(stages[static_cast<std::size_t>(s)].begin(),
+              stages[static_cast<std::size_t>(s)].end());
+  }
+  return stages;
+}
+
+}  // namespace rannc

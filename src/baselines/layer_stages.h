@@ -1,0 +1,33 @@
+// Shared helpers for building pipeline stages from the *manual* layer
+// decomposition a user must supply to GPipe / PipeDream-2BW (the human
+// effort RaNNC automates away, paper Section II-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "models/built_model.h"
+#include "profiler/graph_profiler.h"
+
+namespace rannc {
+
+/// GPipe-Hybrid / PipeDream-2BW stage construction: the encoder layers are
+/// divided into S equal chunks (their implementations require the layer
+/// count to be divisible by S); the embedding layer joins the first stage
+/// and the task head joins the last. Returns empty if the division is not
+/// exact. `model.layers` must be [embedding, L x encoder, head].
+std::vector<std::vector<TaskId>> uniform_layer_stages(const BuiltModel& model,
+                                                      int num_stages);
+
+/// GPipe-Model stage construction: a careful user balances *whole layers*
+/// across S stages (paper Section IV-B: "we tried to partition the models
+/// into eight stages so that the computation times would be as balanced as
+/// possible"). Modeled as the optimal contiguous partition of the layer
+/// sequence minimizing the bottleneck per-layer time — the best any manual
+/// whole-layer split can do. The residual imbalance (layers are indivisible)
+/// is exactly what RaNNC's op-granular splitting removes.
+std::vector<std::vector<TaskId>> balanced_layer_stages(
+    const BuiltModel& model, const GraphProfiler& prof, int num_stages,
+    std::int64_t bsize);
+
+}  // namespace rannc

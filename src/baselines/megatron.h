@@ -1,0 +1,29 @@
+// Megatron-LM-style manual tensor partitioning (paper Sections II-A, IV).
+//
+// Every GEMM is split across `p` tensor-parallel ranks; each Transformer
+// layer costs two activation all-reduces in forward and two in backward.
+// The model encodes the restrictions the paper reports:
+//   * applicable only to Transformer architectures;
+//   * p must be a power of two, at most the device count;
+//   * NO gradient accumulation — the full per-data-parallel-replica batch
+//     is processed in one shot, which is why Megatron OOMs on models RaNNC
+//     still trains (Section IV-B);
+//   * activation buffers are NOT reduced by p ("matrix multiplication in
+//     tensor partitioning distributes the computational loads, but the
+//     size of the buffer to store the results is not reduced").
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline_plan.h"
+#include "cluster/cluster_spec.h"
+#include "models/built_model.h"
+#include "profiler/device_spec.h"
+
+namespace rannc {
+
+BaselinePlan plan_megatron(const BuiltModel& model, const ClusterSpec& cluster,
+                           Precision prec, std::int64_t batch_size,
+                           double memory_margin = 0.9);
+
+}  // namespace rannc

@@ -1,0 +1,60 @@
+#include "baselines/pipedream.h"
+
+#include <algorithm>
+
+#include "baselines/layer_stages.h"
+#include "baselines/staged_eval.h"
+
+namespace rannc {
+
+BaselinePlan plan_pipedream_2bw(const BuiltModel& model,
+                                const ClusterSpec& cluster,
+                                std::int64_t batch_size,
+                                double memory_margin) {
+  BaselinePlan best;
+  best.framework = "PipeDream-2BW";
+  if (!model.transformer) {
+    best.reason = "implementation is specialized to the BERT architecture";
+    return best;
+  }
+  const int D = cluster.total_devices();
+  const auto M = static_cast<std::int64_t>(
+      static_cast<double>(cluster.device.memory_bytes) * memory_margin);
+  GraphProfiler prof(model.graph, cluster.device, Precision::FP32);
+  best.reason = "no stage count in {2,4,8,16} fits (OOM)";
+
+  for (int S : {2, 4, 8, 16}) {
+    if (D % S != 0) continue;
+    const int replicas = D / S;
+    const auto stages = uniform_layer_stages(model, S);
+    if (stages.empty()) continue;
+    for (std::int64_t MB = 1; MB <= batch_size / replicas; MB *= 2) {
+      const std::int64_t bsize = batch_size / replicas / MB;
+      if (bsize < 1) break;
+      // 1F1B holds at most (S - i) microbatches per stage and keeps a
+      // second weight buffer (2BW).
+      const StagedEval ev =
+          eval_stages(prof, cluster, stages, bsize, static_cast<int>(MB),
+                      Precision::FP32, /*checkpointing=*/true,
+                      InflightPolicy::OneFOneB, /*extra_weight_copies=*/1);
+      if (!ev.fits(M)) continue;
+      const ScheduleResult sched =
+          simulate_1f1b_async(ev.times, static_cast<int>(MB));
+      // 2BW overlaps the gradient all-reduce with the next mini-batch's
+      // compute (asynchrony has no flush), so it adds no critical-path time.
+      const double iter = sched.iteration_time;
+      if (!best.feasible || iter < best.iteration_time) {
+        best.feasible = true;
+        best.reason.clear();
+        best.iteration_time = iter;
+        best.stages = S;
+        best.replicas = replicas;
+        best.microbatches = static_cast<int>(MB);
+        best.mem_per_device = ev.max_mem();
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace rannc

@@ -1,0 +1,23 @@
+// PipeDream-2BW baseline (paper Sections II, IV-A).
+//
+// Partitions exactly like GPipe-Hybrid (uniform layer chunks, equal replica
+// counts — the paper could not run its automatic stage-count search), but
+// schedules asynchronously with 1F1B and double-buffered weights (2BW):
+// no pipeline flush, hence no bubble — at the cost of parameter staleness,
+// which this planner reports via `staleness_free() == false` in Table I.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline_plan.h"
+#include "cluster/cluster_spec.h"
+#include "models/built_model.h"
+
+namespace rannc {
+
+BaselinePlan plan_pipedream_2bw(const BuiltModel& model,
+                                const ClusterSpec& cluster,
+                                std::int64_t batch_size,
+                                double memory_margin = 0.9);
+
+}  // namespace rannc

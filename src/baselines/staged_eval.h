@@ -1,0 +1,41 @@
+// Shared evaluation of a concrete staged pipeline: per-stage times (with
+// inter-stage communication folded in), per-replica memory, and parameter
+// bytes. Used by the GPipe and PipeDream-2BW planners.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+#include "models/built_model.h"
+#include "pipeline/schedule.h"
+#include "profiler/graph_profiler.h"
+#include "profiler/memory.h"
+
+namespace rannc {
+
+/// How many microbatches' activation state a stage holds simultaneously.
+enum class InflightPolicy {
+  GPipeFlush,  ///< all MB microbatches (forward flush before any backward)
+  OneFOneB,    ///< pipeline depth: stage i of S holds S - i microbatches
+};
+
+struct StagedEval {
+  std::vector<StageTimes> times;
+  std::vector<std::int64_t> mems;
+  std::vector<std::int64_t> param_bytes;
+  [[nodiscard]] std::int64_t max_mem() const;
+  [[nodiscard]] bool fits(std::int64_t budget) const;
+};
+
+/// Profiles each stage at microbatch size `bsize`. With `checkpointing`,
+/// backward includes the forward recompute and only boundary activations
+/// are held per in-flight microbatch. `extra_weight_copies` models
+/// PipeDream-2BW's double-buffered weights (2BW).
+StagedEval eval_stages(const GraphProfiler& prof, const ClusterSpec& cluster,
+                       const std::vector<std::vector<TaskId>>& stages,
+                       std::int64_t bsize, int microbatches, Precision prec,
+                       bool checkpointing, InflightPolicy policy,
+                       int extra_weight_copies = 0);
+
+}  // namespace rannc

@@ -1,0 +1,25 @@
+#include "cluster/cluster_spec.h"
+
+namespace rannc {
+
+double p2p_time(const ClusterSpec& c, std::int64_t bytes, bool same_node) {
+  const double bw = same_node ? c.intra_bw : c.inter_bw;
+  const double lat = same_node ? c.intra_lat : c.inter_lat;
+  return lat + static_cast<double>(bytes) / bw;
+}
+
+double allreduce_time(const ClusterSpec& c, std::int64_t bytes, int ranks,
+                      bool spans_nodes) {
+  if (ranks <= 1 || bytes <= 0) return 0.0;
+  const double bw = spans_nodes ? c.inter_bw : c.intra_bw;
+  const double lat = spans_nodes ? c.inter_lat : c.intra_lat;
+  const double r = static_cast<double>(ranks);
+  return 2.0 * (r - 1.0) / r * static_cast<double>(bytes) / bw +
+         2.0 * (r - 1.0) * lat;
+}
+
+double partitioner_comm_time(const ClusterSpec& c, std::int64_t bytes) {
+  return p2p_time(c, bytes, /*same_node=*/true);
+}
+
+}  // namespace rannc

@@ -1,0 +1,70 @@
+// Operator vocabulary of the task-graph IR and per-task attributes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rannc {
+
+/// Operator kinds. This is the atomic-task vocabulary: in graph partitioning
+/// (paper Section I) these tasks are indivisible units — a task is never
+/// split across devices, only whole tasks are grouped into subcomponents.
+enum class OpKind : std::uint8_t {
+  // Linear algebra
+  MatMul,       // [.., m, k] x [k, n] (optionally batched lhs)
+  Transpose,    // permutation given by attr "perm<i>"
+  Reshape,      // target shape = output shape
+  // Elementwise / activations
+  Add,          // broadcasting add (bias or residual)
+  Mul,
+  Scale,        // x * fattr("scale")
+  Gelu,
+  Relu,
+  Tanh,
+  // Normalization / attention pieces
+  Softmax,      // over last dim
+  LayerNorm,    // over last dim; inputs: x, gamma, beta
+  Dropout,      // identity in this runtime (p recorded as fattr "p")
+  // Lookup & losses
+  Embedding,    // inputs: ids, table
+  CrossEntropy, // inputs: logits [N, C], targets [N]; output: scalar loss
+  // Convolutional networks
+  Conv2d,       // inputs: x [N,C,H,W], weight [Cout,Cin,kh,kw]; attrs stride/pad
+  BatchNorm2d,  // inputs: x, gamma, beta (per-batch statistics)
+  MaxPool2d,    // attrs kernel/stride/pad
+  GlobalAvgPool2d,
+  Flatten,
+  // Structural
+  Concat,       // along attr "axis"
+  Identity,
+};
+
+const char* op_name(OpKind k);
+
+/// Small attribute bag carried by each task (stride, padding, axis, ...).
+/// A std::map keeps iteration deterministic for DOT export and hashing.
+struct OpAttrs {
+  std::map<std::string, std::int64_t> ints;
+  std::map<std::string, double> floats;
+
+  [[nodiscard]] std::int64_t geti(const std::string& k, std::int64_t dflt = 0) const {
+    auto it = ints.find(k);
+    return it == ints.end() ? dflt : it->second;
+  }
+  [[nodiscard]] double getf(const std::string& k, double dflt = 0.0) const {
+    auto it = floats.find(k);
+    return it == floats.end() ? dflt : it->second;
+  }
+
+  OpAttrs& set(const std::string& k, std::int64_t v) {
+    ints[k] = v;
+    return *this;
+  }
+  OpAttrs& set(const std::string& k, double v) {
+    floats[k] = v;
+    return *this;
+  }
+};
+
+}  // namespace rannc

@@ -1,0 +1,81 @@
+// Core identifier, shape and dtype types for the task-graph IR.
+//
+// The IR mirrors the ONNX-style graph the paper builds from a PyTorch trace
+// (Section III-A): a bipartite structure of *tasks* (operators) and *values*
+// (tensors). Every module in this repository consumes these types.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace rannc {
+
+/// Index of a task node within its owning TaskGraph.
+using TaskId = std::int32_t;
+/// Index of a value node within its owning TaskGraph.
+using ValueId = std::int32_t;
+
+/// Sentinel for "no producing task" (model inputs and parameters).
+inline constexpr TaskId kNoTask = -1;
+
+/// Tensor element types. F16 exists for the mixed-precision cost model;
+/// the CPU runtime executes everything in F32.
+enum class DType : std::uint8_t { F32, F16, I64, Bool };
+
+/// Size in bytes of one element of the given dtype.
+constexpr std::size_t dtype_size(DType dt) {
+  switch (dt) {
+    case DType::F32: return 4;
+    case DType::F16: return 2;
+    case DType::I64: return 8;
+    case DType::Bool: return 1;
+  }
+  return 4;
+}
+
+const char* dtype_name(DType dt);
+
+/// Dense tensor shape. An empty dims vector denotes a scalar.
+///
+/// By convention the *first* dimension of activation values is the batch
+/// dimension; parameter/constant values have no batch dimension. The
+/// profiler uses `with_batch` to rescale activation shapes when estimating
+/// costs at different microbatch sizes.
+struct Shape {
+  std::vector<std::int64_t> dims;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> d) : dims(d) {}
+  explicit Shape(std::vector<std::int64_t> d) : dims(std::move(d)) {}
+
+  /// Number of elements (1 for scalars).
+  [[nodiscard]] std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (std::int64_t d : dims) n *= d;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t rank() const { return dims.size(); }
+  [[nodiscard]] std::int64_t dim(std::size_t i) const { return dims.at(i); }
+
+  /// Returns a copy with the leading (batch) dimension replaced by `b`.
+  /// Scalars and rank-0 shapes are returned unchanged.
+  [[nodiscard]] Shape with_batch(std::int64_t b) const {
+    Shape s = *this;
+    if (!s.dims.empty()) s.dims[0] = b;
+    return s;
+  }
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) = default;
+};
+
+/// Bytes occupied by a tensor of the given shape/dtype.
+inline std::int64_t tensor_bytes(const Shape& s, DType dt) {
+  return s.numel() * static_cast<std::int64_t>(dtype_size(dt));
+}
+
+}  // namespace rannc

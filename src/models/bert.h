@@ -1,0 +1,38 @@
+// Enlarged-BERT graph builder (paper Section IV-B).
+//
+// Emits the op-level task graph of a BERT encoder with a masked-LM head,
+// matching the NVIDIA reference model description the paper feeds to RaNNC
+// unmodified. Hidden size and layer count are free parameters so the
+// Fig. 4 sweep (hidden in {1024,1536,2048}, layers in {24..256}) can be
+// generated; BERT-Large is hidden=1024, layers=24 (340M params).
+#pragma once
+
+#include <cstdint>
+
+#include "models/built_model.h"
+
+namespace rannc {
+
+struct BertConfig {
+  std::int64_t hidden = 1024;
+  std::int64_t layers = 24;
+  std::int64_t seq_len = 512;
+  std::int64_t vocab = 30522;
+  std::int64_t heads = 0;          ///< 0 = hidden / 64
+  std::int64_t intermediate = 0;   ///< 0 = 4 * hidden
+
+  [[nodiscard]] std::int64_t num_heads() const {
+    return heads > 0 ? heads : hidden / 64;
+  }
+  [[nodiscard]] std::int64_t ffn_dim() const {
+    return intermediate > 0 ? intermediate : 4 * hidden;
+  }
+  /// Closed-form parameter count (embeddings + encoder + MLM head).
+  [[nodiscard]] std::int64_t param_count() const;
+};
+
+/// Builds the graph at reference batch size 1 (profiling costs scale
+/// linearly with batch; see GraphProfiler).
+BuiltModel build_bert(const BertConfig& cfg);
+
+}  // namespace rannc

@@ -1,0 +1,42 @@
+// Common result type for model-graph builders.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.h"
+
+namespace rannc {
+
+/// A contiguous range of task ids forming one user-visible "layer".
+///
+/// RaNNC never consumes these (it partitions the raw task graph); they exist
+/// so the *baselines* can be given the manually-specified layer boundaries
+/// that Megatron-LM / GPipe / PipeDream-2BW require (paper Section II-C).
+struct LayerSpan {
+  std::string name;
+  TaskId begin = 0;  // inclusive
+  TaskId end = 0;    // exclusive
+  [[nodiscard]] std::vector<TaskId> tasks() const {
+    std::vector<TaskId> out;
+    out.reserve(static_cast<std::size_t>(end - begin));
+    for (TaskId t = begin; t < end; ++t) out.push_back(t);
+    return out;
+  }
+};
+
+/// A built model: the task graph plus the manual layer decomposition.
+struct BuiltModel {
+  TaskGraph graph;
+  std::vector<LayerSpan> layers;
+  /// True if the architecture is Transformer-based (Megatron-LM and
+  /// GPipe-Hybrid are only applicable to such models, Section IV-A).
+  bool transformer = false;
+  /// Transformer geometry, used by the tensor-partitioning baseline to size
+  /// its per-layer all-reduces. Zero for non-transformer models.
+  std::int64_t hidden = 0;
+  std::int64_t seq_len = 0;
+};
+
+}  // namespace rannc

@@ -1,0 +1,30 @@
+// GPT-2-style decoder graph builder.
+//
+// Not part of the paper's evaluation, but the paper motivates RaNNC with
+// GPT-3-scale decoder models (Section I); this builder lets the examples
+// and tests exercise the partitioner on a second Transformer architecture
+// whose description RaNNC consumes unmodified.
+#pragma once
+
+#include <cstdint>
+
+#include "models/built_model.h"
+
+namespace rannc {
+
+struct Gpt2Config {
+  std::int64_t hidden = 768;
+  std::int64_t layers = 12;
+  std::int64_t seq_len = 1024;
+  std::int64_t vocab = 50257;
+  std::int64_t heads = 0;  ///< 0 = hidden / 64
+
+  [[nodiscard]] std::int64_t num_heads() const {
+    return heads > 0 ? heads : hidden / 64;
+  }
+  [[nodiscard]] std::int64_t param_count() const;
+};
+
+BuiltModel build_gpt2(const Gpt2Config& cfg);
+
+}  // namespace rannc

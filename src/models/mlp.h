@@ -1,0 +1,25 @@
+// Small MLP graph builder — the workhorse for unit tests, the quickstart
+// example, and the real-execution runtime (laptop-scale models).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "models/built_model.h"
+
+namespace rannc {
+
+struct MlpConfig {
+  std::int64_t input_dim = 64;
+  std::vector<std::int64_t> hidden_dims = {128, 128};
+  std::int64_t num_classes = 10;
+  /// Batch dimension baked into the graph. Partitioning benches use 1;
+  /// the runtime builds at the actual microbatch size it executes.
+  std::int64_t batch = 1;
+
+  [[nodiscard]] std::int64_t param_count() const;
+};
+
+BuiltModel build_mlp(const MlpConfig& cfg);
+
+}  // namespace rannc

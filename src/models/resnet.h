@@ -1,0 +1,27 @@
+// Enlarged-ResNet graph builder (paper Section IV-B, Fig. 5).
+//
+// Standard bottleneck ResNet-v1 with a Big-Transfer-style *width factor*
+// multiplying every convolution's filter count. The paper evaluates
+// ResNet{50,101,152} with width factor 8; ResNet152x8 has 3.7B parameters.
+#pragma once
+
+#include <cstdint>
+
+#include "models/built_model.h"
+
+namespace rannc {
+
+struct ResNetConfig {
+  int depth = 50;                 ///< 50, 101 or 152
+  std::int64_t width_factor = 1;  ///< BiT-style filter multiplier
+  std::int64_t image_size = 224;
+  std::int64_t num_classes = 1000;
+
+  /// Closed-form parameter count.
+  [[nodiscard]] std::int64_t param_count() const;
+};
+
+/// Builds the graph at reference batch size 1.
+BuiltModel build_resnet(const ResNetConfig& cfg);
+
+}  // namespace rannc

@@ -1,0 +1,39 @@
+// T5-style encoder-decoder graph builder.
+//
+// The paper motivates RaNNC with T5 (11B parameters, Section I). Beyond
+// scale, the encoder-decoder topology is the interesting part for a graph
+// partitioner: the encoder's final hidden states feed the cross-attention
+// of *every* decoder layer, so the task graph is not a chain — a stage cut
+// anywhere in the decoder keeps a live dependency back to the encoder
+// boundary. This exercises the convexity machinery and the cut-size
+// estimates far harder than BERT/GPT-2 do.
+#pragma once
+
+#include <cstdint>
+
+#include "models/built_model.h"
+
+namespace rannc {
+
+struct T5Config {
+  std::int64_t hidden = 512;        ///< t5-small
+  std::int64_t layers = 6;          ///< encoder layers == decoder layers
+  std::int64_t seq_len = 128;       ///< encoder input length
+  std::int64_t target_len = 0;      ///< 0 = same as seq_len
+  std::int64_t vocab = 32128;
+  std::int64_t heads = 0;           ///< 0 = hidden / 64
+  std::int64_t ffn = 0;             ///< 0 = 4 * hidden
+
+  [[nodiscard]] std::int64_t num_heads() const {
+    return heads > 0 ? heads : hidden / 64;
+  }
+  [[nodiscard]] std::int64_t ffn_dim() const { return ffn > 0 ? ffn : 4 * hidden; }
+  [[nodiscard]] std::int64_t tgt_len() const {
+    return target_len > 0 ? target_len : seq_len;
+  }
+  [[nodiscard]] std::int64_t param_count() const;
+};
+
+BuiltModel build_t5(const T5Config& cfg);
+
+}  // namespace rannc

@@ -1,0 +1,46 @@
+// Phase 1 — atomic-level partitioning (paper Section III-A).
+//
+// Identifies the finest-grained subcomponents that later phases group into
+// blocks and stages. Each atomic subcomponent contains exactly one
+// *non-constant* task (a task whose output depends on the model input) plus
+// any *constant* tasks feeding it (e.g. the transpose of a weight matrix).
+// Constant tasks whose output feeds multiple subcomponents are cloned, one
+// copy per target, so that replicating any atomic subcomponent for data
+// parallelism is always meaningful.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/task_graph.h"
+
+namespace rannc {
+
+/// One atomic subcomponent within AtomicPartition::graph.
+struct AtomicComponent {
+  std::vector<TaskId> tasks;    ///< sorted; exactly one is non-constant
+  TaskId non_constant = kNoTask;
+};
+
+/// Result of atomic-level partitioning. Because cloning constant chains
+/// mutates the graph, the partition owns a rebuilt TaskGraph; all task ids
+/// in `comps` refer to that graph, not the input graph.
+struct AtomicPartition {
+  TaskGraph graph;
+  std::vector<AtomicComponent> comps;  ///< topologically ordered
+  std::vector<int> comp_of_task;       ///< graph task id -> index into comps
+  /// Maps each rebuilt task id back to the originating task id in the input
+  /// graph (clones map to the task they were cloned from).
+  std::vector<TaskId> origin_task;
+  std::size_t num_cloned_tasks = 0;
+};
+
+/// Classifies tasks by the paper's forward sweep: a task is non-constant iff
+/// it consumes the model input or the output of a non-constant task.
+/// Returns a flag per task of `g`.
+std::vector<char> find_non_constant_tasks(const TaskGraph& g);
+
+/// Runs atomic-level partitioning on `g`.
+AtomicPartition atomic_partition(const TaskGraph& g);
+
+}  // namespace rannc

@@ -1,0 +1,438 @@
+#include "partition/auto_partitioner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "partition/atomic.h"
+
+namespace rannc {
+
+namespace {
+
+/// A topologically-ordered sequence of units (blocks or atomic components)
+/// with prefix-summed costs, so any consecutive range can be profiled in
+/// O(1) after an O(T) per-batch-size precomputation. This plays the role of
+/// the paper's memoized `profile` procedure in Algorithm 1.
+class UnitSequence {
+ public:
+  UnitSequence(const AtomicPartition& ap, const GraphProfiler& prof,
+               std::vector<std::vector<TaskId>> unit_tasks, bool standalone)
+      : graph_(&ap.graph), prof_(&prof), units_(std::move(unit_tasks)),
+        standalone_(standalone) {
+    const int n = static_cast<int>(units_.size());
+    pact_.assign(static_cast<std::size_t>(n) + 1, 0);
+    pparams_.assign(static_cast<std::size_t>(n) + 1, 0);
+    pnparams_.assign(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<int> unit_of_task(graph_->num_tasks(), -1);
+    for (int u = 0; u < n; ++u) {
+      double act = 0;
+      std::int64_t pb = 0, np = 0;
+      for (TaskId t : units_[static_cast<std::size_t>(u)]) {
+        unit_of_task[static_cast<std::size_t>(t)] = u;
+        act += static_cast<double>(
+            graph_->value(graph_->task(t).output).bytes());
+        for (ValueId in : graph_->task(t).inputs) {
+          const Value& v = graph_->value(in);
+          if (v.kind == ValueKind::Param) {
+            pb += v.bytes();
+            np += v.shape.numel();
+          }
+        }
+      }
+      pact_[static_cast<std::size_t>(u) + 1] =
+          pact_[static_cast<std::size_t>(u)] + act;
+      pparams_[static_cast<std::size_t>(u) + 1] =
+          pparams_[static_cast<std::size_t>(u)] + pb;
+      pnparams_[static_cast<std::size_t>(u) + 1] =
+          pnparams_[static_cast<std::size_t>(u)] + np;
+    }
+    // cross_[b]: activation bytes (batch 1, fp32) crossing the boundary
+    // between unit b-1 and unit b, i.e. cut by a split at position b.
+    std::vector<double> diff(static_cast<std::size_t>(n) + 2, 0);
+    for (const Value& v : graph_->values()) {
+      if (v.producer == kNoTask) continue;
+      const int pu = unit_of_task[static_cast<std::size_t>(v.producer)];
+      if (pu < 0) continue;
+      int maxc = pu;
+      for (TaskId c : v.consumers) {
+        const int cu = unit_of_task[static_cast<std::size_t>(c)];
+        maxc = std::max(maxc, cu);
+      }
+      if (maxc > pu) {
+        diff[static_cast<std::size_t>(pu) + 1] += static_cast<double>(v.bytes());
+        diff[static_cast<std::size_t>(maxc) + 1] -= static_cast<double>(v.bytes());
+      }
+    }
+    cross_.assign(static_cast<std::size_t>(n) + 1, 0);
+    double run = 0;
+    for (int b = 1; b <= n; ++b) {
+      run += diff[static_cast<std::size_t>(b)];
+      cross_[static_cast<std::size_t>(b)] = run;
+    }
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(units_.size()); }
+  [[nodiscard]] const std::vector<TaskId>& unit(int u) const {
+    return units_[static_cast<std::size_t>(u)];
+  }
+
+  /// Merged task list of units (lo, hi].
+  [[nodiscard]] std::vector<TaskId> range_tasks(int lo, int hi) const {
+    std::vector<TaskId> out;
+    for (int u = lo; u < hi; ++u)
+      out.insert(out.end(), units_[static_cast<std::size_t>(u)].begin(),
+                 units_[static_cast<std::size_t>(u)].end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Outgoing boundary bytes of range (lo, hi] at batch 1 / fp32.
+  [[nodiscard]] double cross_out(int hi) const {
+    return hi < size() ? cross_[static_cast<std::size_t>(hi)] : 0.0;
+  }
+  [[nodiscard]] double cross_in(int lo) const {
+    return lo > 0 ? cross_[static_cast<std::size_t>(lo)] : 0.0;
+  }
+
+  [[nodiscard]] std::int64_t range_nparams(int lo, int hi) const {
+    return pnparams_[static_cast<std::size_t>(hi)] -
+           pnparams_[static_cast<std::size_t>(lo)];
+  }
+  [[nodiscard]] std::int64_t range_param_bytes(int lo, int hi) const {
+    return pparams_[static_cast<std::size_t>(hi)] -
+           pparams_[static_cast<std::size_t>(lo)];
+  }
+  [[nodiscard]] double range_act_bytes1(int lo, int hi) const {
+    return pact_[static_cast<std::size_t>(hi)] -
+           pact_[static_cast<std::size_t>(lo)];
+  }
+
+  /// Prefix forward/backward compute times for a given microbatch size,
+  /// built lazily (one O(T) pass per distinct bsize).
+  struct TimePrefix {
+    std::vector<double> f, b;
+  };
+  const TimePrefix& times(std::int64_t bsize) const {
+    auto it = time_cache_.find(bsize);
+    if (it != time_cache_.end()) return it->second;
+    TimePrefix tp;
+    const int n = size();
+    tp.f.assign(static_cast<std::size_t>(n) + 1, 0);
+    tp.b.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (int u = 0; u < n; ++u) {
+      double f = 0, b = 0;
+      for (TaskId t : units_[static_cast<std::size_t>(u)]) {
+        f += prof_->task_time_f(t, bsize, standalone_);
+        b += prof_->task_time_b(t, bsize, standalone_);
+      }
+      tp.f[static_cast<std::size_t>(u) + 1] = tp.f[static_cast<std::size_t>(u)] + f;
+      tp.b[static_cast<std::size_t>(u) + 1] = tp.b[static_cast<std::size_t>(u)] + b;
+    }
+    return time_cache_.emplace(bsize, std::move(tp)).first->second;
+  }
+
+ private:
+  const TaskGraph* graph_;
+  const GraphProfiler* prof_;
+  std::vector<std::vector<TaskId>> units_;
+  bool standalone_;
+  std::vector<double> pact_;  // batch-1 fp32 activation bytes
+  std::vector<std::int64_t> pparams_, pnparams_;
+  std::vector<double> cross_;
+  mutable std::map<std::int64_t, TimePrefix> time_cache_;
+};
+
+/// Builds the RangeProfileFn over a unit sequence.
+///
+/// `summed_estimates` selects the Section IV-C ablation semantics: times
+/// are sums of standalone component profiles (already baked into the
+/// sequence's `standalone` mode) and stage memory is the plain sum of all
+/// activation bytes — the variant cannot profile the merged subcomponent,
+/// so it cannot model gradient-checkpointing's reduced footprint either.
+RangeProfileFn make_profile_fn(const UnitSequence& seq,
+                               const GraphProfiler& prof,
+                               const ClusterSpec& cluster, Precision prec,
+                               OptimizerKind opt, bool summed_estimates) {
+  const double af = prof.act_factor();
+  return [&seq, &cluster, prec, opt, af, summed_estimates](
+             int lo, int hi, std::int64_t bsize, int microbatches,
+             int num_stages) -> StageProfile {
+    const auto& tp = seq.times(bsize);
+    const double tf_c = tp.f[static_cast<std::size_t>(hi)] -
+                        tp.f[static_cast<std::size_t>(lo)];
+    const double tb_c = tp.b[static_cast<std::size_t>(hi)] -
+                        tp.b[static_cast<std::size_t>(lo)];
+    const double out_bytes = seq.cross_out(hi) * static_cast<double>(bsize) * af;
+    const double in_bytes = seq.cross_in(lo) * static_cast<double>(bsize) * af;
+    const bool checkpointing = num_stages > 1;
+
+    StageProfile p;
+    // h() includes the time to send outputs to the following stage
+    // (Section III-C); the backward pass symmetrically returns input
+    // gradients to the preceding stage, plus the checkpoint recompute.
+    p.t_f = tf_c + partitioner_comm_time(cluster, static_cast<std::int64_t>(out_bytes));
+    p.t_b = tb_c + partitioner_comm_time(cluster, static_cast<std::int64_t>(in_bytes));
+    if (checkpointing && !summed_estimates) p.t_b += tf_c;
+
+    ProfileResult pr;
+    pr.num_params = seq.range_nparams(lo, hi);
+    pr.param_bytes = seq.range_param_bytes(lo, hi);
+    pr.act_bytes = static_cast<std::int64_t>(seq.range_act_bytes1(lo, hi) *
+                                             static_cast<double>(bsize) * af);
+    pr.boundary_bytes = static_cast<std::int64_t>(in_bytes);
+    // A single stage has no pipeline fill: each microbatch's backward runs
+    // immediately after its forward (plain gradient accumulation), so only
+    // one microbatch of activations is ever live. With S > 1 the GPipe
+    // flush keeps all MB microbatches in flight per stage.
+    const std::int64_t inflight = num_stages == 1 ? 1 : microbatches;
+    const StageMemory mem = stage_memory(pr, prec, opt, inflight,
+                                         checkpointing && !summed_estimates);
+    p.mem = mem.total();
+    return p;
+  };
+}
+
+/// Estimated wall-clock of one mini-batch for a concrete DP solution:
+/// synchronous pipeline makespan plus the per-stage gradient all-reduce.
+double estimate_iteration(const UnitSequence& seq, const RangeProfileFn& fn,
+                          const ClusterSpec& cluster, Precision prec,
+                          const StageDpSolution& sol, std::int64_t batch_size,
+                          int R, int MB) {
+  const int S = static_cast<int>(sol.stage_end.size());
+  std::vector<StageTimes> st(static_cast<std::size_t>(S));
+  double max_allreduce = 0;
+  int lo = 0;
+  for (int i = 0; i < S; ++i) {
+    const int hi = sol.stage_end[static_cast<std::size_t>(i)];
+    const int devs = sol.stage_devices[static_cast<std::size_t>(i)];
+    const std::int64_t bsize =
+        std::max<std::int64_t>(1, batch_size / R / MB / devs);
+    const StageProfile p = fn(lo, hi, bsize, MB, S);
+    // Comm is already folded into t_f / t_b (matching h() in the DP).
+    st[static_cast<std::size_t>(i)] = {p.t_f, p.t_b, 0.0};
+    const std::int64_t grad_bytes = static_cast<std::int64_t>(
+        static_cast<double>(seq.range_param_bytes(lo, hi)) *
+        (prec == Precision::Mixed ? 0.5 : 1.0));
+    const int ranks = devs * R;
+    max_allreduce = std::max(
+        max_allreduce, allreduce_time(cluster, grad_bytes, ranks, R > 1));
+    lo = hi;
+  }
+  const ScheduleResult sched = simulate_gpipe(st, MB);
+  return sched.iteration_time + max_allreduce;
+}
+
+struct Candidate {
+  StageDpSolution sol;
+  int S = 0, D = 0, R = 0, MB = 0, n = 0;
+  double est_iter = 0;
+};
+
+}  // namespace
+
+PartitionResult auto_partition(const TaskGraph& model,
+                               const PartitionConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  PartitionResult res;
+
+  // Phase 1: atomic-level partitioning.
+  auto ap = std::make_shared<AtomicPartition>(atomic_partition(model));
+  GraphProfiler prof(ap->graph, cfg.cluster.device, cfg.precision);
+  res.stats.atomic_components = ap->comps.size();
+  res.stats.cloned_constant_tasks = ap->num_cloned_tasks;
+
+  const std::int64_t M = cfg.usable_memory();
+  const std::int64_t BS = cfg.batch_size;
+  const int N_nodes = cfg.cluster.num_nodes;
+  const int Dnode = cfg.cluster.devices_per_node;
+
+  // Phase 2: block-level partitioning (skipped by the ablation variant).
+  std::vector<std::vector<TaskId>> unit_tasks;
+  if (cfg.use_coarsening) {
+    BlockPartitionConfig bcfg;
+    bcfg.k = cfg.num_blocks;
+    bcfg.device_memory = M;
+    // Balance blocks at the smallest microbatch size a stage replica can
+    // see. Per-op overheads weigh most at batch 1, so blocks equalized
+    // there only get more even as the batch grows compute-bound — whereas
+    // blocks balanced at a large batch can be badly skewed at microbatch 1,
+    // which is exactly the regime the very largest models run in (many
+    // stages, many microbatches).
+    bcfg.profile_batch = 1;
+    BlockPartition bp = block_partition(*ap, prof, bcfg);
+    res.stats.blocks = static_cast<int>(bp.blocks.size());
+    res.stats.coarsen_levels = bp.coarsen_levels;
+    res.stats.uncoarsen_moves = bp.uncoarsen_moves;
+    res.stats.compaction_merges = bp.compaction_merges;
+    unit_tasks.reserve(bp.blocks.size());
+    for (Block& b : bp.blocks) unit_tasks.push_back(std::move(b.tasks));
+  } else {
+    unit_tasks.reserve(ap->comps.size());
+    for (const AtomicComponent& c : ap->comps) unit_tasks.push_back(c.tasks);
+    res.stats.blocks = static_cast<int>(unit_tasks.size());
+  }
+
+  UnitSequence seq(*ap, prof, std::move(unit_tasks),
+                   /*standalone=*/!cfg.use_coarsening);
+  const RangeProfileFn search_fn =
+      make_profile_fn(seq, prof, cfg.cluster, cfg.precision, cfg.optimizer,
+                      /*summed_estimates=*/!cfg.use_coarsening);
+  // The final plan is always evaluated with merged-profile semantics: the
+  // ablation variant *searches* with summed estimates but physically runs
+  // the merged stages (Section IV-C). When coarsening is on, the search
+  // sequence already uses merged semantics and is reused directly.
+  std::vector<std::vector<TaskId>> unit_copy;
+  if (!cfg.use_coarsening) {
+    unit_copy.reserve(static_cast<std::size_t>(seq.size()));
+    for (int i = 0; i < seq.size(); ++i) unit_copy.push_back(seq.unit(i));
+  }
+  const UnitSequence eval_seq_storage =
+      cfg.use_coarsening
+          ? UnitSequence(*ap, prof, {}, false)
+          : UnitSequence(*ap, prof, std::move(unit_copy), false);
+  const UnitSequence& eval_seq = cfg.use_coarsening ? seq : eval_seq_storage;
+  const RangeProfileFn eval_fn =
+      cfg.use_coarsening
+          ? search_fn
+          : make_profile_fn(eval_seq, prof, cfg.cluster, cfg.precision,
+                            cfg.optimizer, /*summed_estimates=*/false);
+
+  // Phase 3: Algorithm 2 (form_stage).
+  bool aborted = false;
+  Candidate best;
+  bool found = false;
+  for (int n = 1; n <= N_nodes && !found; n *= 2) {
+    const int D = Dnode * n;
+    const int R = N_nodes / n;
+    // Deviation from the Algorithm 2 listing: candidates are accumulated
+    // across the whole stage-count range of this node group and the best is
+    // returned, instead of returning at the first S with any solution. The
+    // listing's early return can miss a strictly better uniform split at
+    // S+1 (e.g. 8 one-device stages vs 7 stages where one stage's two
+    // replicas cannot split the microbatch further).
+    std::vector<Candidate> A;
+    for (int S = Dnode * (n - 1) + 1;
+         S <= std::min(Dnode * n, seq.size()); ++S) {
+      for (int MB = 1; MB <= BS / R; MB *= 2) {
+        StageDpInput in;
+        in.num_units = seq.size();
+        in.num_stages = S;
+        in.num_devices = D;
+        in.batch_size = BS;
+        in.replica_factor = R;
+        in.microbatches = MB;
+        in.device_memory = M;
+        in.max_cells = cfg.max_dp_cells;
+        in.profile = search_fn;
+        StageDpSolution sol = form_stage_dp(in);
+        res.stats.dp_cells_visited += sol.dp_cells_visited;
+        res.stats.profile_queries += sol.profile_queries;
+        ++res.stats.dp_invocations;
+        if (sol.aborted) {
+          aborted = true;
+          break;
+        }
+        if (!sol.feasible) {
+          res.stats.candidates.push_back({n, S, MB, false, 0});
+          continue;
+        }
+        Candidate c;
+        c.est_iter = estimate_iteration(seq, search_fn, cfg.cluster,
+                                        cfg.precision, sol, BS, R, MB);
+        res.stats.candidates.push_back({n, S, MB, true, c.est_iter});
+        c.sol = std::move(sol);
+        c.S = S;
+        c.D = D;
+        c.R = R;
+        c.MB = MB;
+        c.n = n;
+        A.push_back(std::move(c));
+      }
+      if (aborted) break;
+    }
+    if (!A.empty()) {
+      best = *std::min_element(A.begin(), A.end(),
+                               [](const Candidate& a, const Candidate& b) {
+                                 return a.est_iter < b.est_iter;
+                               });
+      found = true;
+    }
+    if (aborted) break;
+  }
+
+  res.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  res.graph = std::shared_ptr<const TaskGraph>(ap, &ap->graph);
+  if (!found) {
+    res.feasible = false;
+    res.infeasible_reason =
+        aborted ? "search budget exceeded" : "no memory-feasible partition";
+    return res;
+  }
+
+  // Assemble the plan, re-profiled with merged semantics.
+  res.feasible = true;
+  res.microbatches = best.MB;
+  res.pipelines = best.R;
+  res.nodes_used = best.n;
+  const int S = best.S;
+  int lo = 0;
+  for (int i = 0; i < S; ++i) {
+    const int hi = best.sol.stage_end[static_cast<std::size_t>(i)];
+    const int devs = best.sol.stage_devices[static_cast<std::size_t>(i)];
+    StagePlan sp;
+    sp.tasks = seq.range_tasks(lo, hi);
+    sp.devices = devs;
+    sp.replicas_total = devs * best.R;
+    sp.microbatch_size =
+        std::max<std::int64_t>(1, BS / best.R / best.MB / devs);
+    const StageProfile p = eval_fn(lo, hi, sp.microbatch_size, best.MB, S);
+    sp.t_f = p.t_f;
+    sp.t_b = p.t_b;
+    sp.mem = p.mem;
+    sp.param_bytes = seq.range_param_bytes(lo, hi);
+    sp.comm_out_bytes = static_cast<std::int64_t>(
+        seq.cross_out(hi) * static_cast<double>(sp.microbatch_size) *
+        prof.act_factor());
+    res.stages.push_back(std::move(sp));
+    lo = hi;
+  }
+  res.est_iteration_time = estimate_iteration(
+      eval_seq, eval_fn, cfg.cluster, cfg.precision, best.sol, BS, best.R,
+      best.MB);
+  double mf = 0, mb = 0;
+  for (const StagePlan& sp : res.stages) {
+    mf = std::max(mf, sp.t_f);
+    mb = std::max(mb, sp.t_b);
+  }
+  res.bottleneck_value = mf + mb;
+  return res;
+}
+
+std::string describe(const PartitionResult& r) {
+  std::ostringstream os;
+  if (!r.feasible) {
+    os << "INFEASIBLE (" << r.infeasible_reason << ")\n";
+    return os.str();
+  }
+  os << "stages=" << r.stages.size() << " microbatches=" << r.microbatches
+     << " pipelines(R)=" << r.pipelines << " nodes=" << r.nodes_used
+     << " est_iter=" << r.est_iteration_time << "s\n";
+  for (std::size_t i = 0; i < r.stages.size(); ++i) {
+    const StagePlan& s = r.stages[i];
+    os << "  stage " << i << ": tasks=" << s.tasks.size()
+       << " devices=" << s.devices << " (x" << r.pipelines << " pipelines)"
+       << " ubatch=" << s.microbatch_size << " t_f=" << s.t_f * 1e3
+       << "ms t_b=" << s.t_b * 1e3 << "ms mem="
+       << static_cast<double>(s.mem) / (1024.0 * 1024 * 1024) << "GiB"
+       << " params=" << static_cast<double>(s.param_bytes) / 4.0 / 1e6
+       << "M\n";
+  }
+  return os.str();
+}
+
+}  // namespace rannc

@@ -1,0 +1,108 @@
+// RaNNC's end-to-end automatic partitioner: atomic-level partitioning,
+// block-level partitioning, and the outer stage search (paper Algorithm 2,
+// form_stage) that determines the number of pipeline stages, microbatches,
+// per-stage device counts and whole-pipeline replicas.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+#include "graph/task_graph.h"
+#include "partition/block.h"
+#include "partition/stage_dp.h"
+#include "pipeline/schedule.h"
+#include "profiler/memory.h"
+
+namespace rannc {
+
+struct PartitionConfig {
+  ClusterSpec cluster;
+  Precision precision = Precision::FP32;
+  OptimizerKind optimizer = OptimizerKind::Adam;
+  std::int64_t batch_size = 256;  ///< global mini-batch BS
+  int num_blocks = 32;            ///< k for block-level partitioning
+  /// Fraction of device memory usable for model state (the rest is left to
+  /// the framework: CUDA context, fragmentation, comm buffers).
+  double memory_margin = 0.9;
+  /// false selects the Section IV-C ablation: the stage DP runs directly
+  /// over atomic components with costs estimated by summing standalone
+  /// per-component profiles.
+  bool use_coarsening = true;
+  /// Safety cap for the ablation variant, whose DP is O(|B|^2 D^2 S) with
+  /// |B| in the thousands. 0 = unlimited.
+  std::int64_t max_dp_cells = 0;
+
+  [[nodiscard]] std::int64_t usable_memory() const {
+    return static_cast<std::int64_t>(
+        static_cast<double>(cluster.device.memory_bytes) * memory_margin);
+  }
+};
+
+/// One pipeline stage of the final plan.
+struct StagePlan {
+  std::vector<TaskId> tasks;   ///< task ids in PartitionResult::graph
+  int devices = 1;             ///< stage replicas within one pipeline (d_i)
+  int replicas_total = 1;      ///< d_i * R across all pipeline copies
+  std::int64_t microbatch_size = 1;  ///< per-replica samples per microbatch
+  double t_f = 0;              ///< profiled fwd seconds per microbatch
+  double t_b = 0;              ///< profiled bwd seconds (incl. recompute)
+  std::int64_t mem = 0;        ///< bytes per replica
+  std::int64_t param_bytes = 0;
+  std::int64_t comm_out_bytes = 0;  ///< activation bytes to the next stage
+};
+
+/// One (S, MB) configuration examined by Algorithm 2.
+struct CandidateTrace {
+  int nodes = 0;
+  int stages = 0;
+  int microbatches = 0;
+  bool feasible = false;
+  double est_iteration = 0;  ///< 0 when infeasible
+};
+
+struct SearchStats {
+  std::size_t atomic_components = 0;
+  std::size_t cloned_constant_tasks = 0;
+  int blocks = 0;
+  int coarsen_levels = 0;
+  int uncoarsen_moves = 0;
+  int compaction_merges = 0;
+  std::int64_t dp_cells_visited = 0;
+  std::int64_t profile_queries = 0;
+  int dp_invocations = 0;
+  double wall_seconds = 0;
+  std::vector<CandidateTrace> candidates;  ///< every (S, MB) examined
+};
+
+struct PartitionResult {
+  bool feasible = false;
+  std::string infeasible_reason;
+  /// The (possibly clone-rebuilt) graph the stage task ids refer to.
+  std::shared_ptr<const TaskGraph> graph;
+  std::vector<StagePlan> stages;
+  int microbatches = 1;     ///< MB
+  int pipelines = 1;        ///< R (whole-pipeline replicas)
+  int nodes_used = 0;       ///< n in Algorithm 2
+  double est_iteration_time = 0;  ///< seconds per global mini-batch
+  double bottleneck_value = 0;    ///< V = max t_f + max t_b
+  SearchStats stats;
+
+  /// Training throughput in samples/second.
+  [[nodiscard]] double throughput(std::int64_t batch_size) const {
+    return est_iteration_time > 0
+               ? static_cast<double>(batch_size) / est_iteration_time
+               : 0.0;
+  }
+};
+
+/// Runs the full RaNNC partitioning pipeline on `model`.
+PartitionResult auto_partition(const TaskGraph& model,
+                               const PartitionConfig& cfg);
+
+/// Human-readable plan summary (stages, devices, times, memory).
+std::string describe(const PartitionResult& r);
+
+}  // namespace rannc

@@ -1,0 +1,73 @@
+// Phase 2 — block-level partitioning (paper Section III-B).
+//
+// Groups the atomic subcomponents into k balanced, coarse-grained, convex
+// *blocks* using an adaptation of k-way multilevel graph partitioning
+// (Karypis-Kumar style, as extended for streaming-application load
+// balancing). Three steps:
+//
+//   coarsening   — iteratively merge the cheapest group with its best
+//                  adjacent partner (convex, memory-feasible, minimizing the
+//                  merged computation time) until k groups remain or no
+//                  merge is possible;
+//   uncoarsening — walk the merge history back down, moving sub-groups
+//                  across block boundaries when that reduces the bytes
+//                  communicated between blocks;
+//   compaction   — if more than k groups survive coarsening, merge
+//                  topologically-consecutive groups (always convex) in
+//                  ascending computation-time order until exactly k remain.
+//
+// Convexity is enforced throughout by keeping the block-quotient graph
+// acyclic: a non-convex subcomponent is exactly one that induces a cycle
+// among blocks, which would deadlock the sequential pipeline (Section III-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+#include "partition/atomic.h"
+#include "profiler/graph_profiler.h"
+
+namespace rannc {
+
+struct BlockPartitionConfig {
+  int k = 32;                       ///< desired number of blocks (paper: 32)
+  std::int64_t device_memory = 0;   ///< usable bytes per device (0 = no limit)
+  std::int64_t profile_batch = 1;   ///< microbatch size for balance profiling
+  /// Post-compaction boundary refinement that equalizes block times by
+  /// moving atomic components across adjacent block boundaries. Extension
+  /// beyond the paper's three steps (see block.cpp); ablatable.
+  bool balance_refinement = true;
+  /// The paper's uncoarsening step (communication-reducing boundary
+  /// adjustments along the merge history). Ablatable for experiments.
+  bool uncoarsening = true;
+};
+
+/// One coarse-grained block: a convex union of atomic subcomponents.
+struct Block {
+  std::vector<int> comps;      ///< atomic component indices, ascending
+  std::vector<TaskId> tasks;   ///< merged task ids, ascending
+  double time_f = 0;           ///< forward estimate at profile_batch, seconds
+  double time_b = 0;
+  std::int64_t param_bytes = 0;
+  std::int64_t act_bytes = 0;  ///< activation bytes at profile_batch
+  [[nodiscard]] double time() const { return time_f + time_b; }
+};
+
+struct BlockPartition {
+  std::vector<Block> blocks;        ///< topologically sorted
+  std::vector<int> block_of_comp;   ///< comp index -> index into blocks
+  // Search diagnostics (experiment E6).
+  int coarsen_levels = 0;
+  int uncoarsen_moves = 0;
+  int compaction_merges = 0;
+  std::int64_t cut_bytes = 0;       ///< activation bytes crossing block edges
+};
+
+/// Runs block-level partitioning over the atomic partition `ap`.
+/// `prof` must be a profiler over `ap.graph`.
+BlockPartition block_partition(const AtomicPartition& ap,
+                               const GraphProfiler& prof,
+                               const BlockPartitionConfig& cfg);
+
+}  // namespace rannc

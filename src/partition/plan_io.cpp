@@ -1,0 +1,265 @@
+#include "partition/plan_io.h"
+
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/subgraph.h"
+
+namespace rannc {
+
+std::vector<PlanViolation> validate_plan(const PartitionResult& plan,
+                                         const PartitionConfig& cfg) {
+  std::vector<PlanViolation> out;
+  auto fail = [&out](std::string what) { out.push_back({std::move(what)}); };
+
+  if (!plan.feasible) {
+    fail("plan is marked infeasible");
+    return out;
+  }
+  if (!plan.graph) {
+    fail("plan has no graph attached");
+    return out;
+  }
+  const TaskGraph& g = *plan.graph;
+
+  // Coverage.
+  std::vector<int> owner(g.num_tasks(), -1);
+  for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+    for (TaskId t : plan.stages[s].tasks) {
+      if (t < 0 || static_cast<std::size_t>(t) >= g.num_tasks()) {
+        fail("stage " + std::to_string(s) + " references unknown task " +
+             std::to_string(t));
+        continue;
+      }
+      if (owner[static_cast<std::size_t>(t)] != -1)
+        fail("task " + std::to_string(t) + " assigned to stages " +
+             std::to_string(owner[static_cast<std::size_t>(t)]) + " and " +
+             std::to_string(s));
+      owner[static_cast<std::size_t>(t)] = static_cast<int>(s);
+    }
+  }
+  for (std::size_t t = 0; t < owner.size(); ++t)
+    if (owner[t] == -1)
+      fail("task " + std::to_string(t) + " not assigned to any stage");
+  if (!out.empty()) return out;  // structural errors invalidate the rest
+
+  // Convexity and forward flow.
+  TaskAdjacency adj(g);
+  for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+    std::vector<char> member(g.num_tasks(), 0);
+    for (TaskId t : plan.stages[s].tasks)
+      member[static_cast<std::size_t>(t)] = 1;
+    if (!is_convex(adj, member))
+      fail("stage " + std::to_string(s) + " is not convex");
+  }
+  for (const Value& v : g.values()) {
+    if (v.producer == kNoTask) continue;
+    for (TaskId c : v.consumers)
+      if (owner[static_cast<std::size_t>(v.producer)] >
+          owner[static_cast<std::size_t>(c)])
+        fail("value " + v.name + " flows backwards between stages");
+  }
+
+  // Memory and device accounting.
+  int devices_used = 0;
+  for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+    const StagePlan& sp = plan.stages[s];
+    if (sp.mem > cfg.usable_memory())
+      fail("stage " + std::to_string(s) + " exceeds the device memory budget");
+    if (sp.devices < 1)
+      fail("stage " + std::to_string(s) + " has no devices");
+    if (sp.replicas_total != sp.devices * plan.pipelines)
+      fail("stage " + std::to_string(s) + " replica accounting is wrong");
+    devices_used += sp.devices;
+  }
+  if (devices_used * plan.pipelines > cfg.cluster.total_devices())
+    fail("plan uses more devices than the cluster has");
+  return out;
+}
+
+// ---- JSON writing -----------------------------------------------------------
+
+std::string plan_to_json(const PartitionResult& plan) {
+  std::ostringstream os;
+  os << std::setprecision(17);  // lossless double round-trip
+  os << "{\n";
+  os << "  \"version\": 1,\n";
+  os << "  \"feasible\": " << (plan.feasible ? "true" : "false") << ",\n";
+  os << "  \"microbatches\": " << plan.microbatches << ",\n";
+  os << "  \"pipelines\": " << plan.pipelines << ",\n";
+  os << "  \"nodes_used\": " << plan.nodes_used << ",\n";
+  os << "  \"est_iteration_time\": " << plan.est_iteration_time << ",\n";
+  os << "  \"stages\": [\n";
+  for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+    const StagePlan& sp = plan.stages[s];
+    os << "    {\"devices\": " << sp.devices
+       << ", \"replicas_total\": " << sp.replicas_total
+       << ", \"microbatch_size\": " << sp.microbatch_size
+       << ", \"t_f\": " << sp.t_f << ", \"t_b\": " << sp.t_b
+       << ", \"mem\": " << sp.mem << ", \"param_bytes\": " << sp.param_bytes
+       << ", \"comm_out_bytes\": " << sp.comm_out_bytes << ", \"tasks\": [";
+    for (std::size_t i = 0; i < sp.tasks.size(); ++i) {
+      if (i) os << ',';
+      os << sp.tasks[i];
+    }
+    os << "]}" << (s + 1 < plan.stages.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+// ---- JSON reading -----------------------------------------------------------
+
+namespace {
+
+/// Minimal recursive-descent parser for the JSON subset plan_to_json emits
+/// (objects, arrays, numbers, booleans, double-quoted keys).
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c)
+      throw std::invalid_argument(std::string("plan JSON: expected '") + c +
+                                  "' at offset " + std::to_string(pos_));
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string key() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') out.push_back(s_[pos_++]);
+    expect('"');
+    expect(':');
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start)
+      throw std::invalid_argument("plan JSON: expected a number at offset " +
+                                  std::to_string(start));
+    return std::stod(s_.substr(start, pos_ - start));
+  }
+
+  bool boolean() {
+    skip_ws();
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    throw std::invalid_argument("plan JSON: expected a boolean at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+PartitionResult plan_from_json(const std::string& json) {
+  JsonParser p(json);
+  PartitionResult plan;
+  p.expect('{');
+  bool first = true;
+  while (true) {
+    if (!first && !p.consume(',')) break;
+    first = false;
+    p.skip_ws();
+    const std::string k = p.key();
+    if (k == "version") {
+      if (static_cast<int>(p.number()) != 1)
+        throw std::invalid_argument("plan JSON: unsupported version");
+    } else if (k == "feasible") {
+      plan.feasible = p.boolean();
+    } else if (k == "microbatches") {
+      plan.microbatches = static_cast<int>(p.number());
+    } else if (k == "pipelines") {
+      plan.pipelines = static_cast<int>(p.number());
+    } else if (k == "nodes_used") {
+      plan.nodes_used = static_cast<int>(p.number());
+    } else if (k == "est_iteration_time") {
+      plan.est_iteration_time = p.number();
+    } else if (k == "stages") {
+      p.expect('[');
+      if (!p.consume(']')) {
+        do {
+          p.expect('{');
+          StagePlan sp;
+          bool sfirst = true;
+          while (true) {
+            if (!sfirst && !p.consume(',')) break;
+            sfirst = false;
+            const std::string sk = p.key();
+            if (sk == "devices")
+              sp.devices = static_cast<int>(p.number());
+            else if (sk == "replicas_total")
+              sp.replicas_total = static_cast<int>(p.number());
+            else if (sk == "microbatch_size")
+              sp.microbatch_size = static_cast<std::int64_t>(p.number());
+            else if (sk == "t_f")
+              sp.t_f = p.number();
+            else if (sk == "t_b")
+              sp.t_b = p.number();
+            else if (sk == "mem")
+              sp.mem = static_cast<std::int64_t>(p.number());
+            else if (sk == "param_bytes")
+              sp.param_bytes = static_cast<std::int64_t>(p.number());
+            else if (sk == "comm_out_bytes")
+              sp.comm_out_bytes = static_cast<std::int64_t>(p.number());
+            else if (sk == "tasks") {
+              p.expect('[');
+              if (!p.consume(']')) {
+                do {
+                  sp.tasks.push_back(static_cast<TaskId>(p.number()));
+                } while (p.consume(','));
+                p.expect(']');
+              }
+            } else {
+              throw std::invalid_argument("plan JSON: unknown stage key " + sk);
+            }
+          }
+          p.expect('}');
+          plan.stages.push_back(std::move(sp));
+        } while (p.consume(','));
+        p.expect(']');
+      }
+    } else {
+      throw std::invalid_argument("plan JSON: unknown key " + k);
+    }
+  }
+  p.expect('}');
+  return plan;
+}
+
+}  // namespace rannc

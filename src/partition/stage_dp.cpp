@@ -1,0 +1,114 @@
+#include "partition/stage_dp.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace rannc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+StageDpSolution form_stage_dp(const StageDpInput& in) {
+  const int S = in.num_stages;
+  const int N = in.num_units;
+  const int D = in.num_devices;
+  StageDpSolution sol;
+  if (S <= 0 || N <= 0 || D <= 0 || S > N || S > D || !in.profile)
+    return sol;
+
+  // V[s][b][d]: best bottleneck value using s stages over the first b units
+  // with d devices. tf/tb track the bottleneck components; bp_* are
+  // backpointers for reconstruction.
+  const auto idx = [N, D](int s, int b, int d) {
+    return (static_cast<std::size_t>(s) * static_cast<std::size_t>(N + 1) +
+            static_cast<std::size_t>(b)) *
+               static_cast<std::size_t>(D + 1) +
+           static_cast<std::size_t>(d);
+  };
+  const std::size_t cells = static_cast<std::size_t>(S + 1) *
+                            static_cast<std::size_t>(N + 1) *
+                            static_cast<std::size_t>(D + 1);
+  std::vector<double> V(cells, kInf), tf(cells, 0), tb(cells, 0);
+  std::vector<int> bp_b(cells, -1), bp_d(cells, -1);
+  // Deviation from the pseudocode's line 6 (V_{s=0,b,d} = 0 for all b, d):
+  // only the empty prefix with zero devices is a valid base case; any other
+  // (b, d) would let the first stage skip units or strand devices on an
+  // empty prefix.
+  V[idx(0, 0, 0)] = 0;
+
+  int d_min = 1;
+  for (int s = 1; s <= S; ++s) {
+    for (int b = s; b <= N - S + s; ++b) {
+      for (int d = D - (S - s); d >= std::max(d_min, s); --d) {
+        bool bsize_clipped = false;
+        for (int bp = s - 1; bp <= b - 1; ++bp) {
+          for (int dp = s - 1; dp <= d - 1; ++dp) {
+            ++sol.dp_cells_visited;
+            if (in.max_cells > 0 && sol.dp_cells_visited > in.max_cells) {
+              sol.aborted = true;
+              return sol;
+            }
+            const double prevV = V[idx(s - 1, bp, dp)];
+            if (prevV == kInf) continue;  // previous stages infeasible
+            const int stage_devs = d - dp;
+            const std::int64_t bsize =
+                in.batch_size / in.replica_factor / in.microbatches /
+                stage_devs;
+            if (bsize < 1) {
+              bsize_clipped = true;  // too many replicas for this microbatch
+              continue;
+            }
+            ++sol.profile_queries;
+            const StageProfile p =
+                in.profile(bp, b, bsize, in.microbatches, S);
+            if (in.device_memory > 0 && p.mem > in.device_memory)
+              continue;  // does not fit the device memory
+            const double ntf = std::max(tf[idx(s - 1, bp, dp)], p.t_f);
+            const double ntb = std::max(tb[idx(s - 1, bp, dp)], p.t_b);
+            const double v = ntf + ntb;
+            if (v < V[idx(s, b, d)]) {
+              V[idx(s, b, d)] = v;
+              tf[idx(s, b, d)] = ntf;
+              tb[idx(s, b, d)] = ntb;
+              bp_b[idx(s, b, d)] = bp;
+              bp_d[idx(s, b, d)] = dp;
+            }
+          }
+        }
+        if (V[idx(s, b, d)] == kInf && !bsize_clipped) {
+          // No solution with d devices for memory reasons: fewer devices
+          // only increase the per-replica batch (and therefore memory), so
+          // no smaller d can succeed either (paper: d_min <- d + 1). The
+          // prune must NOT fire when the failure was a microbatch clipped
+          // to zero — that happens with too MANY devices and smaller d
+          // would succeed.
+          d_min = d + 1;
+          break;
+        }
+      }
+    }
+  }
+
+  if (V[idx(S, N, D)] == kInf) return sol;
+
+  sol.feasible = true;
+  sol.max_tf = tf[idx(S, N, D)];
+  sol.max_tb = tb[idx(S, N, D)];
+  sol.stage_end.resize(static_cast<std::size_t>(S));
+  sol.stage_devices.resize(static_cast<std::size_t>(S));
+  int b = N, d = D;
+  for (int s = S; s >= 1; --s) {
+    const int pb = bp_b[idx(s, b, d)];
+    const int pd = bp_d[idx(s, b, d)];
+    if (pb < 0 || pd < 0) throw std::logic_error("stage DP backpointer hole");
+    sol.stage_end[static_cast<std::size_t>(s - 1)] = b;
+    sol.stage_devices[static_cast<std::size_t>(s - 1)] = d - pd;
+    b = pb;
+    d = pd;
+  }
+  return sol;
+}
+
+}  // namespace rannc

@@ -1,0 +1,65 @@
+// Phase 3 — stage-level partitioning (paper Section III-C, Algorithm 1).
+//
+// Given a topologically-ordered sequence of units (normally the k blocks
+// from phase 2; atomic components for the Section IV-C ablation variant),
+// the DP `form_stage_dp` splits the sequence into S consecutive stages and
+// assigns each stage a number of devices (= stage replicas within one
+// pipeline) so that the bottleneck per-microbatch time, V = max t_f + max
+// t_b, is minimized subject to the device-memory constraint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rannc {
+
+/// What `profile(U, batch)` returns for a candidate stage U.
+struct StageProfile {
+  double t_f = 0;         ///< forward seconds per microbatch (incl. comm out)
+  double t_b = 0;         ///< backward seconds per microbatch (incl. recompute)
+  std::int64_t mem = 0;   ///< device memory required by one replica
+};
+
+/// Profiles the candidate stage made of units (lo, hi] — i.e. unit indices
+/// lo+1 .. hi in 1-based block terms — at per-replica microbatch size
+/// `bsize`. `microbatches` and `num_stages` are needed for the in-flight
+/// activation count and the gradient-checkpointing decision.
+using RangeProfileFn = std::function<StageProfile(
+    int lo, int hi, std::int64_t bsize, int microbatches, int num_stages)>;
+
+struct StageDpInput {
+  int num_units = 0;           ///< |B|
+  int num_stages = 0;          ///< S
+  int num_devices = 0;         ///< D (devices available to one pipeline)
+  std::int64_t batch_size = 0; ///< BS (global mini-batch)
+  int replica_factor = 1;      ///< R (whole-pipeline data-parallel copies)
+  int microbatches = 1;        ///< MB
+  std::int64_t device_memory = 0;  ///< M
+  /// Abort the search once this many DP cells have been visited (0 = no
+  /// limit). Emulates the paper's 24-hour search timeout for the
+  /// no-coarsening ablation (Section IV-C).
+  std::int64_t max_cells = 0;
+  RangeProfileFn profile;
+};
+
+struct StageDpSolution {
+  bool feasible = false;
+  bool aborted = false;  ///< search budget (max_cells) exhausted
+  /// b_i: exclusive end-unit of stage i (stage i = units (b_{i-1}, b_i]).
+  std::vector<int> stage_end;
+  /// Devices (stage replicas within one pipeline) per stage: d_i - d_{i-1}.
+  std::vector<int> stage_devices;
+  double max_tf = 0;  ///< bottleneck forward time across stages
+  double max_tb = 0;
+  [[nodiscard]] double value() const { return max_tf + max_tb; }
+  // Search diagnostics.
+  std::int64_t dp_cells_visited = 0;
+  std::int64_t profile_queries = 0;
+};
+
+/// Algorithm 1 (form_stage_dp). Returns an infeasible solution when
+/// V[S, |B|, D] stays infinite.
+StageDpSolution form_stage_dp(const StageDpInput& in);
+
+}  // namespace rannc

@@ -1,0 +1,197 @@
+#include "pipeline/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace rannc {
+
+ScheduleResult simulate_gpipe(const std::vector<StageTimes>& stages,
+                              int microbatches) {
+  const int S = static_cast<int>(stages.size());
+  const int MB = microbatches;
+  ScheduleResult res;
+  if (S == 0 || MB == 0) return res;
+
+  // fend[s][j]: completion time of forward microbatch j on stage s.
+  std::vector<std::vector<double>> fend(
+      static_cast<std::size_t>(S), std::vector<double>(static_cast<std::size_t>(MB), 0));
+  std::vector<std::vector<double>> bend = fend;
+
+  for (int s = 0; s < S; ++s) {
+    for (int j = 0; j < MB; ++j) {
+      double ready = 0;
+      if (j > 0) ready = fend[static_cast<std::size_t>(s)][static_cast<std::size_t>(j - 1)];
+      if (s > 0)
+        ready = std::max(ready, fend[static_cast<std::size_t>(s - 1)][static_cast<std::size_t>(j)] +
+                                    stages[static_cast<std::size_t>(s - 1)].comm_next);
+      const double start = ready;
+      const double end = start + stages[static_cast<std::size_t>(s)].t_f;
+      fend[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)] = end;
+      res.intervals.push_back({s, j, false, start, end});
+    }
+  }
+
+  // Backward: reverse stage order, reverse microbatch order within a stage.
+  // A stage begins its backwards only after its own forward flush (GPipe's
+  // synchronous discipline).
+  for (int s = S - 1; s >= 0; --s) {
+    double stage_free = fend[static_cast<std::size_t>(s)][static_cast<std::size_t>(MB - 1)];
+    for (int j = MB - 1; j >= 0; --j) {
+      double ready = stage_free;
+      if (s < S - 1)
+        ready = std::max(ready, bend[static_cast<std::size_t>(s + 1)][static_cast<std::size_t>(j)] +
+                                    stages[static_cast<std::size_t>(s)].comm_next);
+      const double start = ready;
+      const double end = start + stages[static_cast<std::size_t>(s)].t_b;
+      bend[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)] = end;
+      stage_free = end;
+      res.intervals.push_back({s, j, true, start, end});
+    }
+  }
+
+  double makespan = 0;
+  for (int s = 0; s < S; ++s)
+    makespan = std::max(makespan, bend[static_cast<std::size_t>(s)][0]);
+  res.iteration_time = makespan;
+
+  double busy = 0;
+  for (const StageTimes& st : stages) busy += (st.t_f + st.t_b) * MB;
+  res.bubble_fraction = 1.0 - busy / (makespan * S);
+  return res;
+}
+
+double gpipe_iteration_uniform(double t_f, double t_b, int stages,
+                               int microbatches) {
+  return (microbatches + stages - 1) * (t_f + t_b);
+}
+
+ScheduleResult simulate_1f1b_async(const std::vector<StageTimes>& stages,
+                                   int microbatches) {
+  ScheduleResult res;
+  if (stages.empty() || microbatches == 0) return res;
+  double period = 0;
+  for (const StageTimes& st : stages)
+    period = std::max(period, std::max(st.t_f + st.t_b, 2.0 * st.comm_next));
+  // Steady state: fill/drain amortizes across mini-batches because there is
+  // no flush; one mini-batch costs MB busiest-stage periods.
+  res.iteration_time = microbatches * period;
+  double busy = 0;
+  for (const StageTimes& st : stages)
+    busy += (st.t_f + st.t_b) * microbatches;
+  res.bubble_fraction =
+      1.0 - busy / (res.iteration_time * static_cast<double>(stages.size()));
+  return res;
+}
+
+ScheduleResult simulate_1f1b_sync(const std::vector<StageTimes>& stages,
+                                  int microbatches) {
+  const int S = static_cast<int>(stages.size());
+  const int MB = microbatches;
+  ScheduleResult res;
+  if (S == 0 || MB == 0) return res;
+
+  // Build each stage's operation order: warm-up forwards, alternating
+  // 1F1B, drain backwards.
+  struct Op {
+    int microbatch;
+    bool backward;
+  };
+  std::vector<std::vector<Op>> order(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    auto& ops = order[static_cast<std::size_t>(s)];
+    const int warmup = std::min(S - s, MB);  // last stage: 1 warm-up forward
+    int next_f = 0, next_b = 0;
+    for (int i = 0; i < warmup; ++i) ops.push_back({next_f++, false});
+    while (next_b < MB) {
+      ops.push_back({next_b++, true});
+      if (next_f < MB) ops.push_back({next_f++, false});
+    }
+  }
+
+  // Schedule by repeated relaxation: run the earliest ready op per stage,
+  // respecting per-stage op order and cross-stage dependencies.
+  constexpr double kUnset = -1.0;
+  std::vector<std::vector<double>> fend(
+      static_cast<std::size_t>(S),
+      std::vector<double>(static_cast<std::size_t>(MB), kUnset));
+  std::vector<std::vector<double>> bend = fend;
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(S), 0);
+  std::vector<double> stage_free(static_cast<std::size_t>(S), 0.0);
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int s = 0; s < S; ++s) {
+      auto& cur = cursor[static_cast<std::size_t>(s)];
+      if (cur >= order[static_cast<std::size_t>(s)].size()) continue;
+      const Op op = order[static_cast<std::size_t>(s)][cur];
+      double ready = stage_free[static_cast<std::size_t>(s)];
+      if (!op.backward) {
+        if (s > 0) {
+          const double dep =
+              fend[static_cast<std::size_t>(s - 1)][static_cast<std::size_t>(op.microbatch)];
+          if (dep == kUnset) continue;  // upstream forward not done yet
+          ready = std::max(ready,
+                           dep + stages[static_cast<std::size_t>(s - 1)].comm_next);
+        }
+        const double end = ready + stages[static_cast<std::size_t>(s)].t_f;
+        fend[static_cast<std::size_t>(s)][static_cast<std::size_t>(op.microbatch)] = end;
+        res.intervals.push_back({s, op.microbatch, false, ready, end});
+        stage_free[static_cast<std::size_t>(s)] = end;
+      } else {
+        if (fend[static_cast<std::size_t>(s)][static_cast<std::size_t>(op.microbatch)] ==
+            kUnset)
+          continue;  // own forward pending (cannot happen with valid order)
+        if (s < S - 1) {
+          const double dep =
+              bend[static_cast<std::size_t>(s + 1)][static_cast<std::size_t>(op.microbatch)];
+          if (dep == kUnset) continue;  // downstream backward not done yet
+          ready = std::max(ready,
+                           dep + stages[static_cast<std::size_t>(s)].comm_next);
+        }
+        const double end = ready + stages[static_cast<std::size_t>(s)].t_b;
+        bend[static_cast<std::size_t>(s)][static_cast<std::size_t>(op.microbatch)] = end;
+        res.intervals.push_back({s, op.microbatch, true, ready, end});
+        stage_free[static_cast<std::size_t>(s)] = end;
+      }
+      ++cur;
+      progress = true;
+    }
+  }
+  for (int s = 0; s < S; ++s) {
+    if (cursor[static_cast<std::size_t>(s)] !=
+        order[static_cast<std::size_t>(s)].size())
+      throw std::logic_error("1F1B schedule deadlocked");
+    res.iteration_time =
+        std::max(res.iteration_time, stage_free[static_cast<std::size_t>(s)]);
+  }
+  double busy = 0;
+  for (const StageTimes& st : stages) busy += (st.t_f + st.t_b) * MB;
+  res.bubble_fraction = 1.0 - busy / (res.iteration_time * S);
+  return res;
+}
+
+std::string render_gantt(const ScheduleResult& res, int num_stages,
+                         int width) {
+  std::ostringstream os;
+  if (res.intervals.empty() || res.iteration_time <= 0) return "";
+  const double scale = static_cast<double>(width) / res.iteration_time;
+  for (int s = 0; s < num_stages; ++s) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const ScheduleInterval& iv : res.intervals) {
+      if (iv.stage != s) continue;
+      int a = static_cast<int>(std::floor(iv.start * scale));
+      int b = static_cast<int>(std::ceil(iv.end * scale));
+      a = std::clamp(a, 0, width - 1);
+      b = std::clamp(b, a + 1, width);
+      const char glyph = iv.backward ? 'B' : 'F';
+      for (int i = a; i < b; ++i) row[static_cast<std::size_t>(i)] = glyph;
+    }
+    os << "stage " << s << " |" << row << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace rannc

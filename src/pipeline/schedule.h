@@ -1,0 +1,70 @@
+// Pipeline-parallel schedule simulators.
+//
+// Synchronous fill/drain (GPipe-style, paper Fig. 1) and asynchronous 1F1B
+// (PipeDream-2BW) schedules. These produce the iteration times behind every
+// throughput number in the Fig. 4 / Fig. 5 reproductions, and the ASCII
+// Gantt renderer used by the pipeline_gantt example.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rannc {
+
+/// Per-microbatch timing of one pipeline stage.
+struct StageTimes {
+  double t_f = 0;         ///< forward seconds per microbatch
+  double t_b = 0;         ///< backward seconds per microbatch (incl. recompute)
+  double comm_next = 0;   ///< activation (fwd) / gradient (bwd) transfer to
+                          ///< the adjacent stage; 0 for the last stage
+};
+
+/// One box in the schedule: stage `stage` processes microbatch `microbatch`.
+struct ScheduleInterval {
+  int stage = 0;
+  int microbatch = 0;
+  bool backward = false;
+  double start = 0;
+  double end = 0;
+};
+
+struct ScheduleResult {
+  double iteration_time = 0;  ///< makespan of one mini-batch (all microbatches)
+  double bubble_fraction = 0; ///< idle device-time fraction
+  std::vector<ScheduleInterval> intervals;
+};
+
+/// Simulates a synchronous GPipe schedule: each stage runs all forward
+/// microbatches in order, then all backward microbatches in reverse order;
+/// parameters update after the flush (staleness-free, paper Section II-B).
+ScheduleResult simulate_gpipe(const std::vector<StageTimes>& stages,
+                              int microbatches);
+
+/// Closed-form approximation for homogeneous stages:
+///   (MB + S - 1) * (t_f + t_b).
+/// Used by tests as an oracle for simulate_gpipe.
+double gpipe_iteration_uniform(double t_f, double t_b, int stages,
+                               int microbatches);
+
+/// Asynchronous 1F1B steady state (PipeDream-2BW): no flush, so per
+/// mini-batch cost is MB times the busiest stage's per-microbatch period.
+/// Communication is overlapped with compute (PipeDream's design), so each
+/// stage's period is max(compute, transfers).
+ScheduleResult simulate_1f1b_async(const std::vector<StageTimes>& stages,
+                                   int microbatches);
+
+/// Event-driven simulation of one mini-batch under the 1F1B discipline
+/// *with* a synchronizing drain (Megatron-style synchronous 1F1B): stage s
+/// runs min(S-s, MB) warm-up forwards, then alternates one-forward /
+/// one-backward, then drains its remaining backwards. Same bubble as GPipe
+/// but each stage holds at most S-s microbatches of activations instead of
+/// MB — the memory-saving scheduling the paper's successors adopted.
+/// Produces the full interval timeline (for Gantt rendering).
+ScheduleResult simulate_1f1b_sync(const std::vector<StageTimes>& stages,
+                                  int microbatches);
+
+/// Renders intervals as an ASCII Gantt chart, one row per stage.
+std::string render_gantt(const ScheduleResult& res, int num_stages,
+                         int width = 100);
+
+}  // namespace rannc

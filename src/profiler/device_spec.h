@@ -1,0 +1,50 @@
+// Accelerator device model. Stands in for the NVIDIA V100 GPUs of the
+// paper's testbed (Section IV-A: 8x V100 32GB per node).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rannc {
+
+/// Numeric precision regime. `Mixed` models Apex AMP as used in the paper:
+/// fp16 compute on tensor cores with fp32 master weights.
+enum class Precision : std::uint8_t { FP32, Mixed };
+
+/// Roofline parameters of one accelerator device.
+///
+/// Peak numbers are the published V100 specs; the `*_eff` factors are
+/// sustained-efficiency discounts so the analytic model lands near realistic
+/// achieved throughput. Absolute values only shift all timings uniformly —
+/// the partitioner depends on *relative* costs.
+struct DeviceSpec {
+  std::string name = "V100-SXM2-32GB";
+  double fp32_flops = 15.7e12;   ///< peak fp32 FLOP/s
+  double fp16_flops = 125.0e12;  ///< peak tensor-core FLOP/s
+  double matmul_eff = 0.55;      ///< sustained fraction of peak for GEMM/conv
+  double fp16_eff = 0.35;        ///< tensor cores are harder to saturate
+  double mem_bw = 900.0e9;       ///< peak HBM2 bandwidth, bytes/s
+  double mem_bw_eff = 0.75;
+  std::int64_t memory_bytes = 32LL * 1024 * 1024 * 1024;
+  /// Per-kernel cost when an op runs standalone (launch + sync). Dominates
+  /// tiny ops; amortized away when ops execute back-to-back in a stream.
+  double kernel_overhead = 6.0e-6;
+  /// Residual per-op cost inside a profiled region of consecutive ops.
+  double fused_overhead = 1.2e-6;
+  /// Activation-byte multiplier for ops executing back-to-back in a region:
+  /// intermediates hit cache instead of round-tripping HBM. Standalone
+  /// measurement of an op pays full traffic. This is why summing standalone
+  /// atomic profiles *overestimates* a merged subcomponent's time — the
+  /// effect behind the paper's Section IV-C coarsening ablation.
+  double fused_locality = 0.6;
+
+  [[nodiscard]] double gemm_flops(Precision p) const {
+    return p == Precision::Mixed ? fp16_flops * fp16_eff
+                                 : fp32_flops * matmul_eff;
+  }
+  /// Non-GEMM (elementwise/reduction) ops never use tensor cores.
+  [[nodiscard]] double vector_flops() const { return fp32_flops * matmul_eff; }
+  [[nodiscard]] double eff_bw() const { return mem_bw * mem_bw_eff; }
+};
+
+}  // namespace rannc

@@ -1,0 +1,114 @@
+#include "profiler/graph_profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rannc {
+
+namespace {
+
+std::uint64_t hash_key(const std::vector<TaskId>& sorted_tasks,
+                       std::int64_t batch, bool standalone) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  for (TaskId t : sorted_tasks) mix(static_cast<std::uint64_t>(t) + 1);
+  mix(static_cast<std::uint64_t>(batch) << 1);
+  mix(standalone ? 0x9e3779b97f4a7c15ULL : 0x2545F4914F6CDD1DULL);
+  return h;
+}
+
+}  // namespace
+
+GraphProfiler::GraphProfiler(const TaskGraph& g, DeviceSpec dev, Precision prec)
+    : graph_(&g), dev_(dev), prec_(prec) {
+  costs_.reserve(g.num_tasks());
+  task_param_bytes_.reserve(g.num_tasks());
+  for (const Task& t : g.tasks()) {
+    costs_.push_back(op_cost(g, t));
+    std::int64_t pb = 0;
+    for (ValueId in : t.inputs)
+      if (g.value(in).kind == ValueKind::Param) pb += g.value(in).bytes();
+    task_param_bytes_.push_back(pb);
+  }
+}
+
+double GraphProfiler::task_time_f(TaskId t, std::int64_t batch,
+                                  bool standalone) const {
+  const OpCost& c = costs_[static_cast<std::size_t>(t)];
+  const double rate = c.gemm_like ? dev_.gemm_flops(prec_) : dev_.vector_flops();
+  const double pf = prec_ == Precision::Mixed ? 0.5 : 1.0;
+  const double locality = standalone ? 1.0 : dev_.fused_locality;
+  const double bytes =
+      c.act_bytes_f * static_cast<double>(batch) * act_factor() * locality +
+      c.param_bytes * pf;
+  const double ovh = standalone ? dev_.kernel_overhead : dev_.fused_overhead;
+  return std::max(c.flops_f * static_cast<double>(batch) / rate,
+                  bytes / dev_.eff_bw()) +
+         ovh;
+}
+
+double GraphProfiler::task_time_b(TaskId t, std::int64_t batch,
+                                  bool standalone) const {
+  const OpCost& c = costs_[static_cast<std::size_t>(t)];
+  const double rate = c.gemm_like ? dev_.gemm_flops(prec_) : dev_.vector_flops();
+  const double pf = prec_ == Precision::Mixed ? 0.5 : 1.0;
+  const double locality = standalone ? 1.0 : dev_.fused_locality;
+  const double bytes =
+      c.act_bytes_b * static_cast<double>(batch) * act_factor() * locality +
+      2.0 * c.param_bytes * pf;  // read W, write dW
+  const double ovh = standalone ? dev_.kernel_overhead : dev_.fused_overhead;
+  return std::max(c.flops_b * static_cast<double>(batch) / rate,
+                  bytes / dev_.eff_bw()) +
+         ovh;
+}
+
+const ProfileResult& GraphProfiler::profile(const std::vector<TaskId>& tasks,
+                                            std::int64_t batch,
+                                            bool standalone) const {
+  ++calls_;
+  std::vector<TaskId> sorted = tasks;
+  std::sort(sorted.begin(), sorted.end());
+  const std::uint64_t key = hash_key(sorted, batch, standalone);
+  if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+  ++evals_;
+
+  ProfileResult r;
+  // Param bytes: count each distinct param value once.
+  std::vector<char> seen_param(graph_->num_values(), 0);
+  for (TaskId t : sorted) {
+    r.t_fwd += task_time_f(t, batch, standalone);
+    r.t_bwd += task_time_b(t, batch, standalone);
+    const double out_b = static_cast<double>(graph_->value(graph_->task(t).output).bytes());
+    r.act_bytes += static_cast<std::int64_t>(out_b * batch * act_factor());
+    for (ValueId in : graph_->task(t).inputs) {
+      const Value& v = graph_->value(in);
+      if (v.kind == ValueKind::Param && !seen_param[static_cast<std::size_t>(in)]) {
+        seen_param[static_cast<std::size_t>(in)] = 1;
+        r.param_bytes += v.bytes();
+        r.num_params += v.shape.numel();
+      }
+    }
+  }
+  // Boundary (cut) activation bytes at this batch size.
+  std::vector<char> member(graph_->num_tasks(), 0);
+  for (TaskId t : sorted) member[static_cast<std::size_t>(t)] = 1;
+  const CutValues cut = cut_values(*graph_, member);
+  double in_b = 0, out_b = 0;
+  for (ValueId v : cut.inputs)
+    if (graph_->value(v).kind != ValueKind::Param)
+      in_b += static_cast<double>(graph_->value(v).bytes());
+  for (ValueId v : cut.outputs)
+    out_b += static_cast<double>(graph_->value(v).bytes());
+  r.boundary_in_bytes =
+      static_cast<std::int64_t>(in_b * batch * act_factor());
+  r.boundary_out_bytes =
+      static_cast<std::int64_t>(out_b * batch * act_factor());
+  r.boundary_bytes = r.boundary_in_bytes + r.boundary_out_bytes;
+
+  return memo_.emplace(key, r).first->second;
+}
+
+}  // namespace rannc

@@ -1,0 +1,95 @@
+// GraphProfiler: the analytic stand-in for RaNNC's on-device profiling.
+//
+// The paper (Section III-B/III-C) obtains computation times and memory usage
+// by actually running forward/backward passes of candidate subcomponents on
+// a GPU and monitoring them. Without GPUs we model the same measurement with
+// a roofline cost model over the V100 DeviceSpec. The interface mirrors the
+// paper's `profile(U, batch) -> (t_f, t_b, m)` call in Algorithm 1, including
+// memoization (the paper caches profiles to keep the DP tractable).
+//
+// Two profiling modes reproduce the Section IV-C ablation:
+//  * merged  — the subcomponent runs as one region; per-op overhead is the
+//              small residual `fused_overhead`.
+//  * standalone — each atomic component is measured by itself, paying the
+//              full `kernel_overhead` per op. Summing standalone profiles
+//              (what the no-coarsening variant must do) therefore
+//              *overestimates* the merged time, exactly the effect the paper
+//              reports ("estimation by summing computation times of atomic
+//              subcomponents results in a considerable overestimation").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/subgraph.h"
+#include "graph/task_graph.h"
+#include "profiler/device_spec.h"
+#include "profiler/op_cost.h"
+
+namespace rannc {
+
+/// Result of profiling a subcomponent at a given (micro)batch size.
+/// Times are seconds for one forward / backward pass of one microbatch.
+struct ProfileResult {
+  double t_fwd = 0;
+  double t_bwd = 0;
+  std::int64_t param_bytes = 0;     ///< fp32 bytes of trainable params inside
+  std::int64_t num_params = 0;      ///< trainable scalar count inside
+  std::int64_t act_bytes = 0;       ///< activation bytes at this batch size
+  std::int64_t boundary_bytes = 0;  ///< total cut activation bytes (in + out)
+  std::int64_t boundary_in_bytes = 0;   ///< received from preceding stages
+  std::int64_t boundary_out_bytes = 0;  ///< sent to following stages
+};
+
+class GraphProfiler {
+ public:
+  /// `g` must outlive the profiler. Graphs are built at reference batch 1;
+  /// `batch` arguments below are absolute microbatch sizes.
+  GraphProfiler(const TaskGraph& g, DeviceSpec dev,
+                Precision prec = Precision::FP32);
+
+  /// Profiles the subcomponent formed by `tasks` (need not be sorted) at the
+  /// given microbatch size. Memoized. `standalone` selects the per-kernel
+  /// overhead regime described above.
+  const ProfileResult& profile(const std::vector<TaskId>& tasks,
+                               std::int64_t batch,
+                               bool standalone = false) const;
+
+  /// Forward time of a single task (standalone measurement of an atomic op).
+  [[nodiscard]] double task_time_f(TaskId t, std::int64_t batch,
+                                   bool standalone) const;
+  [[nodiscard]] double task_time_b(TaskId t, std::int64_t batch,
+                                   bool standalone) const;
+
+  [[nodiscard]] const OpCost& cost(TaskId t) const {
+    return costs_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] const TaskGraph& graph() const { return *graph_; }
+  [[nodiscard]] const DeviceSpec& device() const { return dev_; }
+  [[nodiscard]] Precision precision() const { return prec_; }
+
+  /// Activation byte multiplier for the precision regime (0.5 under Mixed).
+  [[nodiscard]] double act_factor() const {
+    return prec_ == Precision::Mixed ? 0.5 : 1.0;
+  }
+
+  /// Number of (non-memoized) profile evaluations performed so far. Used by
+  /// the partitioner bench to report search cost (experiment E6).
+  [[nodiscard]] std::size_t profile_evals() const { return evals_; }
+  [[nodiscard]] std::size_t profile_calls() const { return calls_; }
+
+ private:
+  const TaskGraph* graph_;
+  DeviceSpec dev_;
+  Precision prec_;
+  std::vector<OpCost> costs_;
+  /// Per-task fp32 param bytes (weights consumed by that task).
+  std::vector<std::int64_t> task_param_bytes_;
+
+  mutable std::unordered_map<std::uint64_t, ProfileResult> memo_;
+  mutable std::size_t evals_ = 0;
+  mutable std::size_t calls_ = 0;
+};
+
+}  // namespace rannc

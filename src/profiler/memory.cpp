@@ -1,0 +1,31 @@
+#include "profiler/memory.h"
+
+namespace rannc {
+
+StageMemory stage_memory(const ProfileResult& p, Precision prec,
+                         OptimizerKind opt, std::int64_t inflight,
+                         bool checkpointing) {
+  StageMemory m;
+  const std::int64_t n = p.num_params;
+  if (prec == Precision::Mixed) {
+    // fp16 working copy + fp32 master weights (Apex AMP O2 regime).
+    m.weights = 2 * n + 4 * n;
+    m.grads = 2 * n;
+  } else {
+    m.weights = 4 * n;
+    m.grads = 4 * n;
+  }
+  switch (opt) {
+    case OptimizerKind::Adam: m.optimizer = 8 * n; break;  // exp_avg + exp_avg_sq
+    case OptimizerKind::SGD: m.optimizer = 0; break;
+  }
+  // p.act_bytes / p.boundary_bytes are already at the profiled microbatch
+  // size and precision-adjusted by GraphProfiler.
+  if (checkpointing)
+    m.activations = inflight * p.boundary_bytes + p.act_bytes;
+  else
+    m.activations = inflight * p.act_bytes;
+  return m;
+}
+
+}  // namespace rannc

@@ -1,0 +1,41 @@
+// Stage memory estimation (paper Algorithm 1, note on `m`):
+// "m is the sum of the peak memory usage monitored during forward/backward
+//  passes and the memory used for such an optimizer as Adam. The latter was
+//  estimated from the sizes of parameters used in the subcomponents and the
+//  type of optimizer."
+#pragma once
+
+#include <cstdint>
+
+#include "profiler/device_spec.h"
+#include "profiler/graph_profiler.h"
+
+namespace rannc {
+
+enum class OptimizerKind : std::uint8_t { SGD, Adam };
+
+/// Breakdown of a stage replica's device-memory footprint.
+struct StageMemory {
+  std::int64_t weights = 0;
+  std::int64_t grads = 0;
+  std::int64_t optimizer = 0;
+  std::int64_t activations = 0;
+  [[nodiscard]] std::int64_t total() const {
+    return weights + grads + optimizer + activations;
+  }
+};
+
+/// Estimates the footprint of one replica of a stage whose profile at the
+/// chosen microbatch size is `p`.
+///
+/// `inflight` is the number of microbatches whose state must be held
+/// simultaneously (MB for a synchronous GPipe flush; pipeline depth for
+/// 1F1B). With `checkpointing` (applied by RaNNC whenever there is more
+/// than one stage, Section IV-A) only the stage-boundary activations are
+/// retained per in-flight microbatch; one full microbatch of intermediate
+/// activations exists transiently during recomputation.
+StageMemory stage_memory(const ProfileResult& p, Precision prec,
+                         OptimizerKind opt, std::int64_t inflight,
+                         bool checkpointing);
+
+}  // namespace rannc

@@ -1,0 +1,126 @@
+#include "profiler/op_cost.h"
+
+namespace rannc {
+
+namespace {
+
+double value_bytes(const TaskGraph& g, ValueId v) {
+  return static_cast<double>(g.value(v).bytes());
+}
+
+/// Sum of activation input bytes plus weight input bytes, split apart.
+struct IoBytes {
+  double act = 0;
+  double param = 0;
+};
+
+IoBytes input_bytes(const TaskGraph& g, const Task& t) {
+  IoBytes io;
+  for (ValueId in : t.inputs) {
+    if (g.value(in).kind == ValueKind::Param)
+      io.param += value_bytes(g, in);
+    else
+      io.act += value_bytes(g, in);
+  }
+  return io;
+}
+
+/// Generic elementwise-style cost: `flop_per_elem` FLOPs per output element,
+/// all inputs and the output streamed once.
+OpCost elementwise(const TaskGraph& g, const Task& t, double flop_per_elem) {
+  OpCost c;
+  const double out_elems = static_cast<double>(g.value(t.output).shape.numel());
+  const IoBytes in = input_bytes(g, t);
+  const double out_b = value_bytes(g, t.output);
+  c.flops_f = flop_per_elem * out_elems;
+  c.flops_b = c.flops_f;
+  c.act_bytes_f = in.act + out_b;
+  c.act_bytes_b = 2.0 * (in.act + out_b);
+  c.param_bytes = in.param;
+  return c;
+}
+
+}  // namespace
+
+OpCost op_cost(const TaskGraph& g, const Task& t) {
+  const Shape& out = g.value(t.output).shape;
+  const double out_elems = static_cast<double>(out.numel());
+  switch (t.kind) {
+    case OpKind::MatMul: {
+      OpCost c;
+      const Shape& lhs = g.value(t.inputs[0]).shape;
+      const double k = static_cast<double>(lhs.dims.back());
+      c.flops_f = 2.0 * out_elems * k;
+      // Backward computes two GEMMs (dX = dY * W^T, dW = X^T * dY).
+      c.flops_b = 2.0 * c.flops_f;
+      const IoBytes in = input_bytes(g, t);
+      c.act_bytes_f = in.act + value_bytes(g, t.output);
+      c.act_bytes_b = 2.0 * c.act_bytes_f;
+      c.param_bytes = in.param;
+      c.gemm_like = true;
+      return c;
+    }
+    case OpKind::Conv2d: {
+      OpCost c;
+      const Shape& w = g.value(t.inputs[1]).shape;  // [Cout, Cin, kh, kw]
+      const double work_per_out = 2.0 * static_cast<double>(w.dims[1]) *
+                                  static_cast<double>(w.dims[2]) *
+                                  static_cast<double>(w.dims[3]);
+      c.flops_f = out_elems * work_per_out;
+      c.flops_b = 2.0 * c.flops_f;
+      const IoBytes in = input_bytes(g, t);
+      c.act_bytes_f = in.act + value_bytes(g, t.output);
+      c.act_bytes_b = 2.0 * c.act_bytes_f;
+      c.param_bytes = in.param;
+      c.gemm_like = true;
+      return c;
+    }
+    case OpKind::Embedding: {
+      // Row gather: reads only the selected rows, not the whole table.
+      OpCost c;
+      c.flops_f = 0;
+      c.flops_b = out_elems;  // scatter-add of the gradient rows
+      c.act_bytes_f = 2.0 * value_bytes(g, t.output);
+      c.act_bytes_b = 2.0 * value_bytes(g, t.output);
+      c.param_bytes = 0;  // gathered rows already counted in act bytes
+      return c;
+    }
+    case OpKind::Softmax: return elementwise(g, t, 5.0);
+    case OpKind::LayerNorm: return elementwise(g, t, 8.0);
+    case OpKind::BatchNorm2d: return elementwise(g, t, 6.0);
+    case OpKind::CrossEntropy: return elementwise(g, t, 6.0);
+    case OpKind::Gelu: return elementwise(g, t, 8.0);
+    case OpKind::Tanh: return elementwise(g, t, 6.0);
+    case OpKind::Relu: return elementwise(g, t, 1.0);
+    case OpKind::Add:
+    case OpKind::Mul: return elementwise(g, t, 1.0);
+    case OpKind::Scale: return elementwise(g, t, 1.0);
+    case OpKind::Dropout: return elementwise(g, t, 1.0);
+    case OpKind::MaxPool2d: {
+      const std::int64_t k = t.attrs.geti("kernel", 2);
+      return elementwise(g, t, static_cast<double>(k * k));
+    }
+    case OpKind::GlobalAvgPool2d: {
+      OpCost c = elementwise(g, t, 1.0);
+      const double in_elems =
+          static_cast<double>(g.value(t.inputs[0]).shape.numel());
+      c.flops_f = in_elems;
+      c.flops_b = in_elems;
+      return c;
+    }
+    case OpKind::Transpose:
+    case OpKind::Concat: {
+      OpCost c = elementwise(g, t, 0.0);  // pure data movement
+      return c;
+    }
+    case OpKind::Reshape:
+    case OpKind::Flatten:
+    case OpKind::Identity: {
+      // Views: no data movement in the backend we model.
+      return OpCost{};
+    }
+  }
+  return OpCost{};
+}
+
+}  // namespace rannc

@@ -1,0 +1,28 @@
+// Per-operator FLOP and byte counts. These feed the roofline time model in
+// GraphProfiler. All counts are computed at the graph's reference batch size
+// (model builders emit graphs at batch = 1) and scale linearly with batch.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/task_graph.h"
+
+namespace rannc {
+
+/// Cost components of one task at the reference batch size.
+///
+/// `flops_*` and `act_bytes_*` scale linearly with batch size;
+/// `param_bytes` (weight traffic) does not.
+struct OpCost {
+  double flops_f = 0;      ///< forward FLOPs
+  double flops_b = 0;      ///< backward FLOPs (dX and dW)
+  double act_bytes_f = 0;  ///< activation bytes moved in forward
+  double act_bytes_b = 0;  ///< activation + gradient bytes moved in backward
+  double param_bytes = 0;  ///< weight bytes read (fwd) / written (bwd)
+  bool gemm_like = false;  ///< eligible for tensor cores under Mixed precision
+};
+
+/// Computes the cost of task `t` within graph `g` from its value shapes.
+OpCost op_cost(const TaskGraph& g, const Task& t);
+
+}  // namespace rannc

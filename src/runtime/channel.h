@@ -1,0 +1,42 @@
+// Bounded MPMC channel used for inter-stage activation/gradient transfer.
+// Stands in for the NCCL/MPI point-to-point sends of the original system.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace rannc {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  void send(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_space_.wait(lk, [&] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(item));
+    cv_data_.notify_one();
+  }
+
+  T recv() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_data_.wait(lk, [&] { return !queue_.empty(); });
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    cv_space_.notify_one();
+    return item;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable cv_data_;
+  std::condition_variable cv_space_;
+  std::deque<T> queue_;
+};
+
+}  // namespace rannc

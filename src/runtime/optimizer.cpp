@@ -1,0 +1,51 @@
+#include "runtime/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace rannc {
+
+void Optimizer::step(TensorMap& params, const TensorMap& grads) {
+  ++t_;
+  std::vector<ValueId> order;
+  order.reserve(grads.size());
+  for (const auto& [v, g] : grads)
+    if (params.count(v)) order.push_back(v);
+  std::sort(order.begin(), order.end());
+
+  for (ValueId v : order) {
+    Tensor& p = params.at(v);
+    const Tensor& g = grads.at(v);
+    float* P = p.data();
+    const float* G = g.data();
+    const std::int64_t n = p.numel();
+    switch (cfg_.kind) {
+      case OptimizerConfig::Kind::SGD:
+        for (std::int64_t i = 0; i < n; ++i) P[i] -= cfg_.lr * G[i];
+        break;
+      case OptimizerConfig::Kind::Adam: {
+        auto it = state_.find(v);
+        if (it == state_.end())
+          it = state_.emplace(v, AdamState{Tensor(p.shape(), 0.0f),
+                                           Tensor(p.shape(), 0.0f)}).first;
+        float* M = it->second.m.data();
+        float* V = it->second.v.data();
+        const auto bc1 = static_cast<float>(
+            1.0 - std::pow(cfg_.beta1, static_cast<double>(t_)));
+        const auto bc2 = static_cast<float>(
+            1.0 - std::pow(cfg_.beta2, static_cast<double>(t_)));
+        for (std::int64_t i = 0; i < n; ++i) {
+          M[i] = cfg_.beta1 * M[i] + (1 - cfg_.beta1) * G[i];
+          V[i] = cfg_.beta2 * V[i] + (1 - cfg_.beta2) * G[i] * G[i];
+          const float mhat = M[i] / bc1;
+          const float vhat = V[i] / bc2;
+          P[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace rannc

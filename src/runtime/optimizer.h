@@ -1,0 +1,40 @@
+// SGD and Adam optimizers over value-id-keyed parameter maps.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "autodiff/interpreter.h"
+#include "tensor/tensor.h"
+
+namespace rannc {
+
+struct OptimizerConfig {
+  enum class Kind { SGD, Adam } kind = Kind::SGD;
+  float lr = 0.01f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+};
+
+/// Stateful optimizer for one shard of parameters. Deterministic: update
+/// order follows ascending ValueId.
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerConfig cfg) : cfg_(cfg) {}
+
+  /// Applies one update to every parameter present in `grads`.
+  void step(TensorMap& params, const TensorMap& grads);
+
+  [[nodiscard]] const OptimizerConfig& config() const { return cfg_; }
+
+ private:
+  struct AdamState {
+    Tensor m, v;
+  };
+  OptimizerConfig cfg_;
+  std::unordered_map<ValueId, AdamState> state_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace rannc

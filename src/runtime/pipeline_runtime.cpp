@@ -1,0 +1,202 @@
+#include "runtime/pipeline_runtime.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "runtime/trainer.h"
+
+namespace rannc {
+
+PipelineTrainer::PipelineTrainer(const TaskGraph& g,
+                                 std::vector<std::vector<TaskId>> stage_tasks,
+                                 PipelineOptions options)
+    : interp_(g), options_(options) {
+  const auto outs = g.output_values();
+  if (outs.size() != 1 || g.value(outs.front()).shape.numel() != 1)
+    throw std::invalid_argument("PipelineTrainer requires one scalar loss");
+  loss_value_ = outs.front();
+
+  const int S = static_cast<int>(stage_tasks.size());
+  std::vector<int> stage_of_task(g.num_tasks(), -1);
+  for (int s = 0; s < S; ++s) {
+    for (TaskId t : stage_tasks[static_cast<std::size_t>(s)]) {
+      if (stage_of_task[static_cast<std::size_t>(t)] != -1)
+        throw std::invalid_argument("stages overlap");
+      stage_of_task[static_cast<std::size_t>(t)] = s;
+    }
+  }
+  for (int v : stage_of_task)
+    if (v < 0) throw std::invalid_argument("stages do not cover the graph");
+
+  TensorMap all_params = init_params(g, options_.seed);
+  stages_.reserve(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    stages_.emplace_back(options_.opt);
+    stages_.back().tasks = std::move(stage_tasks[static_cast<std::size_t>(s)]);
+    std::sort(stages_.back().tasks.begin(), stages_.back().tasks.end());
+  }
+
+  // Assign parameters (exclusively) and graph inputs to stages; route every
+  // crossing value onto a stage-pair edge.
+  std::vector<int> param_owner(g.num_values(), -1);
+  std::map<std::pair<int, int>, std::vector<ValueId>> edge_values;
+  for (const Value& v : g.values()) {
+    if (v.kind == ValueKind::Param) {
+      for (TaskId c : v.consumers) {
+        const int s = stage_of_task[static_cast<std::size_t>(c)];
+        if (param_owner[static_cast<std::size_t>(v.id)] == -1) {
+          param_owner[static_cast<std::size_t>(v.id)] = s;
+          stages_[static_cast<std::size_t>(s)].params.emplace(
+              v.id, all_params.at(v.id));
+        } else if (param_owner[static_cast<std::size_t>(v.id)] != s) {
+          throw std::invalid_argument(
+              "parameter shared across stages (tied weights) is not "
+              "supported by the pipeline runtime: " + v.name);
+        }
+      }
+    } else if (v.kind == ValueKind::Input) {
+      std::vector<int> seen;
+      for (TaskId c : v.consumers) {
+        const int s = stage_of_task[static_cast<std::size_t>(c)];
+        if (std::find(seen.begin(), seen.end(), s) == seen.end()) {
+          seen.push_back(s);
+          stages_[static_cast<std::size_t>(s)].input_values.push_back(v.id);
+        }
+      }
+    } else if (v.producer != kNoTask) {
+      const int ps = stage_of_task[static_cast<std::size_t>(v.producer)];
+      std::vector<int> seen;
+      for (TaskId c : v.consumers) {
+        const int cs = stage_of_task[static_cast<std::size_t>(c)];
+        if (cs == ps) continue;
+        if (cs < ps)
+          throw std::invalid_argument("stages are not topologically ordered");
+        if (std::find(seen.begin(), seen.end(), cs) == seen.end()) {
+          seen.push_back(cs);
+          edge_values[{ps, cs}].push_back(v.id);
+        }
+      }
+    }
+  }
+  for (auto& [key, vals] : edge_values) {
+    auto e = std::make_unique<Edge>();
+    e->from = key.first;
+    e->to = key.second;
+    std::sort(vals.begin(), vals.end());
+    e->values = std::move(vals);
+    e->fwd = std::make_unique<Channel<TensorMap>>(256);
+    e->bwd = std::make_unique<Channel<TensorMap>>(256);
+    stages_[static_cast<std::size_t>(e->from)].out_edges.push_back(e.get());
+    stages_[static_cast<std::size_t>(e->to)].in_edges.push_back(e.get());
+    edges_.push_back(std::move(e));
+  }
+  stages_[static_cast<std::size_t>(
+              stage_of_task[static_cast<std::size_t>(
+                  g.value(loss_value_).producer)])]
+      .owns_loss = true;
+}
+
+void PipelineTrainer::run_stage(Stage& stage,
+                                const std::vector<TensorMap>& microbatches,
+                                double* loss_out) {
+  const int MB = static_cast<int>(microbatches.size());
+  const float seed_grad = 1.0f / static_cast<float>(MB);
+
+  struct Ctx {
+    TensorMap values;
+    ForwardCache cache;
+    TensorMap boundary;  ///< recompute mode: inputs needed to re-run forward
+  };
+  std::vector<Ctx> ctxs(static_cast<std::size_t>(MB));
+
+  // ---- forward flush -------------------------------------------------------
+  for (int j = 0; j < MB; ++j) {
+    Ctx& ctx = ctxs[static_cast<std::size_t>(j)];
+    TensorMap values = stage.params;
+    for (ValueId v : stage.input_values)
+      values[v] = microbatches[static_cast<std::size_t>(j)].at(v);
+    for (Edge* e : stage.in_edges) {
+      TensorMap m = e->fwd->recv();
+      for (auto& [v, t] : m) values[v] = std::move(t);
+    }
+    if (options_.recompute) {
+      // Keep only what is needed to re-run the forward pass.
+      ctx.boundary = values;
+    }
+    ForwardCache cache;
+    interp_.forward(stage.tasks, values, cache);
+    for (Edge* e : stage.out_edges) {
+      TensorMap m;
+      for (ValueId v : e->values) m.emplace(v, values.at(v));
+      e->fwd->send(std::move(m));
+    }
+    if (stage.owns_loss && loss_out)
+      *loss_out += values.at(loss_value_).at(0);
+    if (options_.recompute) {
+      ctx.values.clear();  // discard intermediates; recompute in backward
+    } else {
+      ctx.values = std::move(values);
+      ctx.cache = std::move(cache);
+    }
+  }
+
+  // ---- backward flush ------------------------------------------------------
+  std::vector<TensorMap> mb_grads(static_cast<std::size_t>(MB));
+  for (int j = MB - 1; j >= 0; --j) {
+    Ctx& ctx = ctxs[static_cast<std::size_t>(j)];
+    TensorMap grads;
+    if (stage.owns_loss)
+      grads.emplace(loss_value_, Tensor::full(Shape{}, seed_grad));
+    for (Edge* e : stage.out_edges) {
+      TensorMap gm = e->bwd->recv();
+      for (auto& [v, t] : gm) accumulate_grad(grads, v, std::move(t));
+    }
+    if (options_.recompute) {
+      ctx.values = std::move(ctx.boundary);
+      ForwardCache cache;
+      interp_.forward(stage.tasks, ctx.values, cache);
+      ctx.cache = std::move(cache);
+    }
+    interp_.backward(stage.tasks, ctx.values, ctx.cache, grads);
+    for (Edge* e : stage.in_edges) {
+      TensorMap gm;
+      for (ValueId v : e->values) {
+        auto it = grads.find(v);
+        if (it != grads.end())
+          gm.emplace(v, it->second);
+        else  // value off the loss path: send explicit zeros for lockstep
+          gm.emplace(v, Tensor::zeros(interp_.graph().value(v).shape));
+      }
+      e->bwd->send(std::move(gm));
+    }
+    TensorMap& pg = mb_grads[static_cast<std::size_t>(j)];
+    for (auto& [v, t] : grads)
+      if (stage.params.count(v)) pg.emplace(v, std::move(t));
+    ctx.values.clear();
+    ctx.cache = ForwardCache{};
+  }
+
+  // Accumulate ascending over microbatches to match the single-device
+  // Trainer's summation order exactly.
+  TensorMap grad_acc;
+  for (int j = 0; j < MB; ++j)
+    for (auto& [v, t] : mb_grads[static_cast<std::size_t>(j)])
+      accumulate_grad(grad_acc, v, std::move(t));
+  stage.opt.step(stage.params, grad_acc);
+}
+
+float PipelineTrainer::step(const std::vector<TensorMap>& microbatches) {
+  if (microbatches.empty()) return 0;
+  double loss_sum = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(stages_.size());
+  for (Stage& st : stages_)
+    threads.emplace_back([this, &st, &microbatches, &loss_sum] {
+      run_stage(st, microbatches, st.owns_loss ? &loss_sum : nullptr);
+    });
+  for (std::thread& t : threads) t.join();
+  return static_cast<float>(loss_sum / static_cast<double>(microbatches.size()));
+}
+
+}  // namespace rannc

@@ -1,0 +1,81 @@
+// Multi-threaded synchronous pipeline executor.
+//
+// Each stage of a RaNNC partition runs on its own thread (one thread = one
+// accelerator device), exchanging cut activations and gradients through
+// bounded channels, with GPipe-style microbatching and a full flush before
+// the optimizer step — the staleness-free discipline of Section II-B.
+// Optional per-stage gradient checkpointing recomputes the stage forward
+// during backward, exactly as RaNNC applies automatically when a model is
+// partitioned into more than one stage (Section IV-A).
+//
+// Gradient accumulation across microbatches is ordered ascending, matching
+// the single-device Trainer so partitioned and unpartitioned training are
+// numerically identical (up to float non-associativity in kernels, which
+// are themselves deterministic here).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "autodiff/interpreter.h"
+#include "runtime/channel.h"
+#include "runtime/optimizer.h"
+
+namespace rannc {
+
+struct PipelineOptions {
+  OptimizerConfig opt;
+  std::uint64_t seed = 1;
+  /// Gradient checkpointing: stages keep only their cut inputs per
+  /// microbatch and recompute the forward during backward.
+  bool recompute = false;
+};
+
+class PipelineTrainer {
+ public:
+  /// `stages` are disjoint task subsets covering all tasks of `g`, each
+  /// sorted ascending, topologically ordered stage-to-stage.
+  PipelineTrainer(const TaskGraph& g, std::vector<std::vector<TaskId>> stages,
+                  PipelineOptions options);
+
+  /// One synchronous pipeline step over the given microbatches; returns the
+  /// mean loss.
+  float step(const std::vector<TensorMap>& microbatches);
+
+  [[nodiscard]] std::size_t num_stages() const { return stages_.size(); }
+  /// Parameter shard held by stage `s` (for equivalence testing).
+  [[nodiscard]] const TensorMap& stage_params(std::size_t s) const {
+    return stages_[s].params;
+  }
+
+ private:
+  struct Edge {
+    int from = 0, to = 0;
+    std::vector<ValueId> values;
+    std::unique_ptr<Channel<TensorMap>> fwd;
+    std::unique_ptr<Channel<TensorMap>> bwd;
+  };
+  struct Stage {
+    std::vector<TaskId> tasks;
+    TensorMap params;
+    std::vector<ValueId> input_values;  ///< graph Inputs this stage consumes
+    std::vector<Edge*> in_edges, out_edges;
+    Optimizer opt;
+    bool owns_loss = false;
+
+    explicit Stage(OptimizerConfig cfg) : opt(cfg) {}
+  };
+
+  void run_stage(Stage& stage, const std::vector<TensorMap>& microbatches,
+                 double* loss_out);
+
+  Interpreter interp_;
+  PipelineOptions options_;
+  std::vector<Stage> stages_;
+  std::vector<std::unique_ptr<Edge>> edges_;
+  ValueId loss_value_ = -1;
+};
+
+}  // namespace rannc

@@ -1,0 +1,94 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace rannc {
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_ = std::shared_ptr<float[]>(new float[static_cast<std::size_t>(
+      std::max<std::int64_t>(1, shape_.numel()))]);
+}
+
+Tensor::Tensor(Shape shape, float fill_v) : Tensor(std::move(shape)) {
+  fill(fill_v);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data) : Tensor(std::move(shape)) {
+  if (static_cast<std::int64_t>(data.size()) != numel())
+    throw std::invalid_argument("Tensor: data size does not match shape");
+  std::memcpy(data_.get(), data.data(), data.size() * sizeof(float));
+}
+
+Tensor Tensor::uniform(Shape shape, float scale, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  // SplitMix64: deterministic, seed-stable across platforms.
+  std::uint64_t x = seed ? seed : 0x9e3779b97f4a7c15ULL;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double u = static_cast<double>(z >> 11) / 9007199254740992.0;  // [0,1)
+    t.at(i) = scale * static_cast<float>(2.0 * u - 1.0);
+  }
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t(shape_);
+  std::memcpy(t.data(), data(), static_cast<std::size_t>(numel()) * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape shape) const {
+  if (shape.numel() != numel())
+    throw std::invalid_argument("reshaped: numel mismatch");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float v) {
+  std::fill_n(data_.get(), static_cast<std::size_t>(numel()), v);
+}
+
+void Tensor::add_(const Tensor& other) {
+  if (other.numel() != numel())
+    throw std::invalid_argument("add_: shape mismatch");
+  const float* o = other.data();
+  float* d = data();
+  for (std::int64_t i = 0; i < numel(); ++i) d[i] += o[i];
+}
+
+void Tensor::scale_(float s) {
+  float* d = data();
+  for (std::int64_t i = 0; i < numel(); ++i) d[i] *= s;
+}
+
+float Tensor::sum() const {
+  double acc = 0;
+  for (std::int64_t i = 0; i < numel(); ++i) acc += at(i);
+  return static_cast<float>(acc);
+}
+
+float Tensor::max_abs() const {
+  float m = 0;
+  for (std::int64_t i = 0; i < numel(); ++i) m = std::max(m, std::fabs(at(i)));
+  return m;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel())
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  float m = 0;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(a.at(i) - b.at(i)));
+  return m;
+}
+
+}  // namespace rannc

@@ -1,0 +1,50 @@
+// Persistent worker pool with a blocking parallel_for. The "devices" of the
+// CPU runtime are stage threads; within a stage, heavy kernels (GEMM, conv)
+// additionally fan out across this pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rannc {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool sized to the hardware concurrency.
+  static ThreadPool& global();
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs fn(begin, end) over disjoint chunks of [begin, end) on the pool
+  /// (the calling thread participates) and blocks until all chunks finish.
+  /// Deterministic w.r.t. results as long as chunks write disjoint outputs.
+  /// One job runs at a time; concurrent callers serialize.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  struct ActiveJob;
+  void worker_loop();
+
+  std::mutex mu_;                 // guards everything below
+  std::mutex caller_mu_;          // serializes concurrent parallel_for calls
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  ActiveJob* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rannc

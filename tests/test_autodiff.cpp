@@ -1,0 +1,306 @@
+// Finite-difference gradient checks for the autodiff interpreter, one per
+// operator family, plus interpreter-level behaviour tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autodiff/interpreter.h"
+
+namespace rannc {
+namespace {
+
+/// A gradient-check fixture: a graph whose single marked output is scalar
+/// (we reduce with a fixed weighted sum so every element contributes a
+/// distinct gradient), plus concrete input/param tensors.
+struct Check {
+  TaskGraph g{"check"};
+  TensorMap tensors;           // inputs + params
+  std::vector<ValueId> wrt;    // values to check gradients for
+  ValueId loss = -1;
+
+  /// Appends reduce(v) = v_flat . w_fixed as the scalar loss.
+  void finish(ValueId v) {
+    const std::int64_t n = g.value(v).shape.numel();
+    ValueId flat = g.add_task("flat", OpKind::Reshape, {v}, Shape{1, n});
+    ValueId w = g.add_param("reduce_w", Shape{n, 1});
+    ValueId out = g.add_task("reduce", OpKind::MatMul, {flat, w}, Shape{1, 1});
+    g.mark_output(out);
+    loss = out;
+    // Fixed, non-uniform reduction weights.
+    Tensor rw(Shape{n, 1});
+    for (std::int64_t i = 0; i < n; ++i)
+      rw.at(i) = 0.3f + 0.1f * static_cast<float>(i % 7);
+    tensors.emplace(w, std::move(rw));
+  }
+
+  double eval() const {
+    Interpreter interp(g);
+    TensorMap values = tensors;
+    ForwardCache cache;
+    interp.forward(g.topo_order(), values, cache);
+    return values.at(loss).at(0);
+  }
+
+  void run(double tol = 2e-2) {
+    Interpreter interp(g);
+    TensorMap values = tensors;
+    ForwardCache cache;
+    interp.forward(g.topo_order(), values, cache);
+    TensorMap grads;
+    grads.emplace(loss, Tensor::full(Shape{1, 1}, 1.0f));
+    interp.backward(g.topo_order(), values, cache, grads);
+
+    const float eps = 1e-2f;
+    for (ValueId v : wrt) {
+      ASSERT_TRUE(grads.count(v)) << "no gradient for " << g.value(v).name;
+      Tensor& theta = tensors.at(v);
+      const std::int64_t n = theta.numel();
+      // Probe a handful of indices spread over the tensor.
+      for (std::int64_t i : {std::int64_t{0}, n / 3, n / 2, n - 1}) {
+        const float saved = theta.at(i);
+        theta.at(i) = saved + eps;
+        const double up = eval();
+        theta.at(i) = saved - eps;
+        const double down = eval();
+        theta.at(i) = saved;
+        const double numeric = (up - down) / (2.0 * eps);
+        const double analytic = grads.at(v).at(i);
+        EXPECT_NEAR(analytic, numeric,
+                    tol * std::max(1.0, std::abs(numeric)))
+            << g.value(v).name << "[" << i << "]";
+      }
+    }
+  }
+};
+
+Tensor randn(Shape s, std::uint64_t seed, float scale = 1.0f) {
+  return Tensor::uniform(std::move(s), scale, seed);
+}
+
+TEST(GradCheck, MatMulBothOperands) {
+  Check c;
+  ValueId x = c.g.add_input("x", Shape{3, 4});
+  ValueId w = c.g.add_param("w", Shape{4, 5});
+  ValueId y = c.g.add_task("mm", OpKind::MatMul, {x, w}, Shape{3, 5});
+  c.tensors.emplace(x, randn(Shape{3, 4}, 1));
+  c.tensors.emplace(w, randn(Shape{4, 5}, 2));
+  c.wrt = {x, w};
+  c.finish(y);
+  c.run();
+}
+
+TEST(GradCheck, BatchedMatMul) {
+  Check c;
+  ValueId a = c.g.add_input("a", Shape{2, 3, 4});
+  ValueId b = c.g.add_input("b", Shape{2, 4, 3});
+  ValueId y = c.g.add_task("bmm", OpKind::MatMul, {a, b}, Shape{2, 3, 3});
+  c.tensors.emplace(a, randn(Shape{2, 3, 4}, 3));
+  c.tensors.emplace(b, randn(Shape{2, 4, 3}, 4));
+  c.wrt = {a, b};
+  c.finish(y);
+  c.run();
+}
+
+TEST(GradCheck, AddWithBroadcastBias) {
+  Check c;
+  ValueId x = c.g.add_input("x", Shape{3, 4});
+  ValueId b = c.g.add_param("b", Shape{4});
+  ValueId y = c.g.add_task("add", OpKind::Add, {x, b}, Shape{3, 4});
+  c.tensors.emplace(x, randn(Shape{3, 4}, 5));
+  c.tensors.emplace(b, randn(Shape{4}, 6));
+  c.wrt = {x, b};
+  c.finish(y);
+  c.run();
+}
+
+TEST(GradCheck, MulElementwise) {
+  Check c;
+  ValueId x = c.g.add_input("x", Shape{2, 3});
+  ValueId m = c.g.add_input("m", Shape{2, 3});
+  ValueId y = c.g.add_task("mul", OpKind::Mul, {x, m}, Shape{2, 3});
+  c.tensors.emplace(x, randn(Shape{2, 3}, 7));
+  c.tensors.emplace(m, randn(Shape{2, 3}, 8));
+  c.wrt = {x, m};
+  c.finish(y);
+  c.run();
+}
+
+TEST(GradCheck, ScaleGeluTanh) {
+  Check c;
+  ValueId x = c.g.add_input("x", Shape{8});
+  ValueId s = c.g.add_task("sc", OpKind::Scale, {x}, Shape{8}, DType::F32,
+                           OpAttrs{}.set("scale", 1.7));
+  ValueId ge = c.g.add_task("gelu", OpKind::Gelu, {s}, Shape{8});
+  ValueId th = c.g.add_task("tanh", OpKind::Tanh, {ge}, Shape{8});
+  c.tensors.emplace(x, randn(Shape{8}, 9));
+  c.wrt = {x};
+  c.finish(th);
+  c.run();
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  Check c;
+  ValueId x = c.g.add_input("x", Shape{6});
+  ValueId y = c.g.add_task("relu", OpKind::Relu, {x}, Shape{6});
+  Tensor t(Shape{6}, {0.5f, -0.7f, 1.2f, -1.4f, 2.0f, 0.9f});
+  c.tensors.emplace(x, std::move(t));
+  c.wrt = {x};
+  c.finish(y);
+  c.run();
+}
+
+TEST(GradCheck, SoftmaxLastDim) {
+  Check c;
+  ValueId x = c.g.add_input("x", Shape{2, 5});
+  ValueId y = c.g.add_task("sm", OpKind::Softmax, {x}, Shape{2, 5});
+  c.tensors.emplace(x, randn(Shape{2, 5}, 10));
+  c.wrt = {x};
+  c.finish(y);
+  c.run();
+}
+
+TEST(GradCheck, LayerNormAllInputs) {
+  Check c;
+  ValueId x = c.g.add_input("x", Shape{3, 6});
+  ValueId gm = c.g.add_param("ln.gamma", Shape{6});
+  ValueId bt = c.g.add_param("ln.beta", Shape{6});
+  ValueId y = c.g.add_task("ln", OpKind::LayerNorm, {x, gm, bt}, Shape{3, 6});
+  c.tensors.emplace(x, randn(Shape{3, 6}, 11));
+  c.tensors.emplace(gm, randn(Shape{6}, 12, 0.5f));
+  c.tensors.emplace(bt, randn(Shape{6}, 13, 0.5f));
+  c.wrt = {x, gm, bt};
+  c.finish(y);
+  c.run(5e-2);
+}
+
+TEST(GradCheck, EmbeddingTable) {
+  Check c;
+  ValueId ids = c.g.add_input("ids", Shape{4});
+  ValueId tbl = c.g.add_param("tbl", Shape{5, 3});
+  ValueId y = c.g.add_task("emb", OpKind::Embedding, {ids, tbl}, Shape{4, 3});
+  c.tensors.emplace(ids, Tensor(Shape{4}, {0, 2, 4, 2}));
+  c.tensors.emplace(tbl, randn(Shape{5, 3}, 14));
+  c.wrt = {tbl};
+  c.finish(y);
+  c.run();
+}
+
+TEST(GradCheck, CrossEntropyLogits) {
+  Check c;
+  ValueId lg = c.g.add_input("logits", Shape{3, 4});
+  ValueId tg = c.g.add_input("targets", Shape{3});
+  ValueId y = c.g.add_task("ce", OpKind::CrossEntropy, {lg, tg}, Shape{});
+  c.tensors.emplace(lg, randn(Shape{3, 4}, 15));
+  c.tensors.emplace(tg, Tensor(Shape{3}, {1, 0, 3}));
+  c.wrt = {lg};
+  // CrossEntropy output is already scalar: mark directly.
+  c.g.mark_output(y);
+  c.loss = y;
+  // run() seeds Shape{1,1}; reshape scalar seed manually instead.
+  Interpreter interp(c.g);
+  TensorMap values = c.tensors;
+  ForwardCache cache;
+  interp.forward(c.g.topo_order(), values, cache);
+  TensorMap grads;
+  grads.emplace(y, Tensor::full(Shape{}, 1.0f));
+  interp.backward(c.g.topo_order(), values, cache, grads);
+  const float eps = 1e-2f;
+  Tensor& theta = c.tensors.at(lg);
+  for (std::int64_t i : {0L, 5L, 11L}) {
+    const float saved = theta.at(i);
+    theta.at(i) = saved + eps;
+    const double up = c.eval();
+    theta.at(i) = saved - eps;
+    const double down = c.eval();
+    theta.at(i) = saved;
+    EXPECT_NEAR(grads.at(lg).at(i), (up - down) / (2 * eps), 2e-3);
+  }
+}
+
+TEST(GradCheck, Conv2dBothOperands) {
+  Check c;
+  ValueId x = c.g.add_input("x", Shape{2, 2, 5, 5});
+  ValueId w = c.g.add_param("w", Shape{3, 2, 3, 3});
+  ValueId y = c.g.add_task("conv", OpKind::Conv2d, {x, w}, Shape{2, 3, 3, 3},
+                           DType::F32,
+                           OpAttrs{}.set("stride", std::int64_t{2})
+                                    .set("pad", std::int64_t{1}));
+  c.tensors.emplace(x, randn(Shape{2, 2, 5, 5}, 16));
+  c.tensors.emplace(w, randn(Shape{3, 2, 3, 3}, 17));
+  c.wrt = {x, w};
+  c.finish(y);
+  c.run();
+}
+
+TEST(GradCheck, BatchNormAllInputs) {
+  Check c;
+  ValueId x = c.g.add_input("x", Shape{2, 3, 2, 2});
+  ValueId gm = c.g.add_param("bn.gamma", Shape{3});
+  ValueId bt = c.g.add_param("bn.beta", Shape{3});
+  ValueId y = c.g.add_task("bn", OpKind::BatchNorm2d, {x, gm, bt},
+                           Shape{2, 3, 2, 2});
+  c.tensors.emplace(x, randn(Shape{2, 3, 2, 2}, 18));
+  c.tensors.emplace(gm, randn(Shape{3}, 19, 0.5f));
+  c.tensors.emplace(bt, randn(Shape{3}, 20, 0.5f));
+  c.wrt = {x, gm, bt};
+  c.finish(y);
+  c.run(5e-2);
+}
+
+TEST(GradCheck, PoolingAndTransposeChain) {
+  Check c;
+  ValueId x = c.g.add_input("x", Shape{1, 2, 4, 4});
+  ValueId mp = c.g.add_task("mp", OpKind::MaxPool2d, {x}, Shape{1, 2, 2, 2},
+                            DType::F32,
+                            OpAttrs{}.set("kernel", std::int64_t{2})
+                                     .set("stride", std::int64_t{2})
+                                     .set("pad", std::int64_t{0}));
+  ValueId ap = c.g.add_task("ap", OpKind::GlobalAvgPool2d, {mp},
+                            Shape{1, 2, 1, 1});
+  ValueId fl = c.g.add_task("fl", OpKind::Flatten, {ap}, Shape{1, 2});
+  ValueId tr = c.g.add_task("tr", OpKind::Transpose, {fl}, Shape{2, 1},
+                            DType::F32,
+                            OpAttrs{}.set("perm0", std::int64_t{1})
+                                     .set("perm1", std::int64_t{0}));
+  c.tensors.emplace(x, randn(Shape{1, 2, 4, 4}, 21));
+  c.wrt = {x};
+  c.finish(tr);
+  c.run();
+}
+
+TEST(Interpreter, MissingInputThrows) {
+  TaskGraph g("bad");
+  ValueId x = g.add_input("x", Shape{2});
+  ValueId y = g.add_task("r", OpKind::Relu, {x}, Shape{2});
+  g.mark_output(y);
+  Interpreter interp(g);
+  TensorMap values;  // x not provided
+  ForwardCache cache;
+  EXPECT_THROW(interp.forward(g.topo_order(), values, cache), std::logic_error);
+}
+
+TEST(Interpreter, FanOutAccumulatesGradients) {
+  // y = x + x (via two consumers of x): dy/dx = 2.
+  TaskGraph g("fan");
+  ValueId x = g.add_input("x", Shape{2});
+  ValueId a = g.add_task("a", OpKind::Scale, {x}, Shape{2}, DType::F32,
+                         OpAttrs{}.set("scale", 1.0));
+  ValueId b = g.add_task("b", OpKind::Scale, {x}, Shape{2}, DType::F32,
+                         OpAttrs{}.set("scale", 1.0));
+  ValueId y = g.add_task("sum", OpKind::Add, {a, b}, Shape{2});
+  g.mark_output(y);
+  Interpreter interp(g);
+  TensorMap values;
+  values.emplace(x, Tensor(Shape{2}, {1.0f, 2.0f}));
+  ForwardCache cache;
+  interp.forward(g.topo_order(), values, cache);
+  TensorMap grads;
+  grads.emplace(y, Tensor(Shape{2}, 1.0f));
+  interp.backward(g.topo_order(), values, cache, grads);
+  EXPECT_FLOAT_EQ(grads.at(x).at(0), 2.0f);
+  EXPECT_FLOAT_EQ(grads.at(x).at(1), 2.0f);
+}
+
+}  // namespace
+}  // namespace rannc

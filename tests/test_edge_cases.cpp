@@ -1,0 +1,188 @@
+// Edge-case and robustness tests across modules: degenerate clusters,
+// non-power-of-two node counts, single-task graphs, extreme batch sizes,
+// channel/thread-pool stress, and optimizer numerics over many steps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "models/mlp.h"
+#include "partition/auto_partitioner.h"
+#include "runtime/channel.h"
+#include "runtime/optimizer.h"
+#include "runtime/trainer.h"
+#include "tensor/thread_pool.h"
+
+namespace rannc {
+namespace {
+
+TEST(EdgeCluster, SingleDeviceClusterStillPartitions) {
+  MlpConfig mc;
+  BuiltModel m = build_mlp(mc);
+  PartitionConfig cfg;
+  cfg.cluster.num_nodes = 1;
+  cfg.cluster.devices_per_node = 1;
+  cfg.batch_size = 8;
+  PartitionResult r = auto_partition(m.graph, cfg);
+  ASSERT_TRUE(r.feasible) << r.infeasible_reason;
+  EXPECT_EQ(r.stages.size(), 1u);
+  EXPECT_EQ(r.pipelines, 1);
+  EXPECT_EQ(r.stages[0].devices, 1);
+}
+
+TEST(EdgeCluster, ThreeNodesHandledWithoutCrash) {
+  // Algorithm 2 doubles n (1, 2, 4, ...); with 3 nodes the replica factor
+  // R = N/n truncates. The search must still return a consistent plan that
+  // uses no more devices than exist.
+  MlpConfig mc;
+  BuiltModel m = build_mlp(mc);
+  PartitionConfig cfg;
+  cfg.cluster.num_nodes = 3;
+  cfg.cluster.devices_per_node = 2;
+  cfg.batch_size = 24;
+  PartitionResult r = auto_partition(m.graph, cfg);
+  ASSERT_TRUE(r.feasible) << r.infeasible_reason;
+  int devices = 0;
+  for (const StagePlan& s : r.stages) devices += s.devices;
+  EXPECT_LE(devices * r.pipelines, cfg.cluster.total_devices());
+}
+
+TEST(EdgeGraph, SingleTaskModelPartitions) {
+  TaskGraph g("one");
+  ValueId x = g.add_input("x", Shape{4, 4});
+  ValueId y = g.add_input("y", Shape{4}, DType::F32);
+  ValueId w = g.add_param("w", Shape{4, 4});
+  ValueId h = g.add_task("mm", OpKind::MatMul, {x, w}, Shape{4, 4});
+  ValueId loss = g.add_task("ce", OpKind::CrossEntropy, {h, y}, Shape{});
+  g.mark_output(loss);
+  PartitionConfig cfg;
+  cfg.cluster.num_nodes = 1;
+  cfg.cluster.devices_per_node = 2;
+  cfg.batch_size = 4;
+  cfg.num_blocks = 8;  // more blocks than components: must clamp gracefully
+  PartitionResult r = auto_partition(g, cfg);
+  ASSERT_TRUE(r.feasible) << r.infeasible_reason;
+  EXPECT_LE(r.stages.size(), 2u);
+}
+
+TEST(EdgeBatch, BatchSmallerThanDeviceCount) {
+  MlpConfig mc;
+  BuiltModel m = build_mlp(mc);
+  PartitionConfig cfg;  // 32 devices
+  cfg.batch_size = 8;   // fewer samples than devices
+  PartitionResult r = auto_partition(m.graph, cfg);
+  // Feasible or not, the search must terminate and stay consistent.
+  if (r.feasible) {
+    for (const StagePlan& s : r.stages) EXPECT_GE(s.microbatch_size, 1);
+  }
+}
+
+TEST(EdgeBatch, BatchOfOne) {
+  MlpConfig mc;
+  BuiltModel m = build_mlp(mc);
+  PartitionConfig cfg;
+  cfg.cluster.num_nodes = 1;
+  cfg.cluster.devices_per_node = 1;
+  cfg.batch_size = 1;
+  PartitionResult r = auto_partition(m.graph, cfg);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.microbatches, 1);
+}
+
+TEST(Channel, PreservesFifoOrderUnderConcurrency) {
+  Channel<int> ch(8);
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) ch.send(i);
+  });
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(ch.recv(), i);
+  producer.join();
+}
+
+TEST(Channel, BlocksWhenFullThenDrains) {
+  Channel<int> ch(2);
+  ch.send(1);
+  ch.send(2);
+  std::thread t([&] { ch.send(3); });  // blocks until a recv
+  EXPECT_EQ(ch.recv(), 1);
+  t.join();
+  EXPECT_EQ(ch.recv(), 2);
+  EXPECT_EQ(ch.recv(), 3);
+}
+
+TEST(ThreadPoolStress, ConcurrentCallersSerializeCorrectly) {
+  // parallel_for from several threads at once (as stage threads do).
+  std::vector<std::vector<int>> results(4, std::vector<int>(5000, 0));
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&, c] {
+      ThreadPool::global().parallel_for(
+          0, 5000, [&, c](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i)
+              results[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)]++;
+          });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& r : results)
+    for (int v : r) EXPECT_EQ(v, 1);
+}
+
+TEST(OptimizerNumerics, AdamMatchesReferenceOverManySteps) {
+  // Scalar Adam against a straightforward reference implementation.
+  OptimizerConfig cfg;
+  cfg.kind = OptimizerConfig::Kind::Adam;
+  cfg.lr = 0.1f;
+  Optimizer opt(cfg);
+  TensorMap params;
+  params.emplace(0, Tensor(Shape{1}, {2.0f}));
+
+  double m = 0, v = 0, ref = 2.0;
+  for (int t = 1; t <= 50; ++t) {
+    const double grad = ref;  // minimize 0.5 x^2
+    TensorMap grads;
+    grads.emplace(0, Tensor(Shape{1}, {static_cast<float>(params.at(0).at(0))}));
+    opt.step(params, grads);
+    m = 0.9 * m + 0.1 * grad;
+    v = 0.999 * v + 0.001 * grad * grad;
+    const double mh = m / (1 - std::pow(0.9, t));
+    const double vh = v / (1 - std::pow(0.999, t));
+    ref -= 0.1 * mh / (std::sqrt(vh) + 1e-8);
+    ASSERT_NEAR(params.at(0).at(0), ref, 1e-4) << "step " << t;
+  }
+  EXPECT_LT(std::abs(params.at(0).at(0)), 2.0f);  // converging toward 0
+}
+
+TEST(OptimizerNumerics, SgdIgnoresUnknownGradients) {
+  OptimizerConfig cfg;
+  Optimizer opt(cfg);
+  TensorMap params;
+  params.emplace(3, Tensor(Shape{1}, {1.0f}));
+  TensorMap grads;
+  grads.emplace(99, Tensor(Shape{1}, {5.0f}));  // no matching param
+  opt.step(params, grads);
+  EXPECT_FLOAT_EQ(params.at(3).at(0), 1.0f);
+}
+
+TEST(EdgePrecision, MixedPrecisionPlanUsesLessMemory) {
+  MlpConfig mc;
+  mc.hidden_dims = {256, 256, 256};
+  BuiltModel m = build_mlp(mc);
+  PartitionConfig cfg;
+  cfg.cluster.num_nodes = 1;
+  cfg.cluster.devices_per_node = 2;
+  cfg.batch_size = 8;
+  PartitionResult fp32 = auto_partition(m.graph, cfg);
+  cfg.precision = Precision::Mixed;
+  PartitionResult amp = auto_partition(m.graph, cfg);
+  ASSERT_TRUE(fp32.feasible);
+  ASSERT_TRUE(amp.feasible);
+  if (fp32.stages.size() == amp.stages.size()) {
+    std::int64_t m32 = 0, m16 = 0;
+    for (const StagePlan& s : fp32.stages) m32 = std::max(m32, s.mem);
+    for (const StagePlan& s : amp.stages) m16 = std::max(m16, s.mem);
+    EXPECT_LT(m16, m32);
+  }
+}
+
+}  // namespace
+}  // namespace rannc

@@ -1,0 +1,186 @@
+// Tests for the model-graph builders: parameter counts against closed
+// forms, layer-span coverage, and architecture metadata.
+#include <gtest/gtest.h>
+
+#include "models/bert.h"
+#include "models/gpt2.h"
+#include "models/mlp.h"
+#include "models/resnet.h"
+
+namespace rannc {
+namespace {
+
+TEST(Bert, ParamCountMatchesClosedForm) {
+  for (std::int64_t h : {256LL, 512LL}) {
+    for (std::int64_t L : {2LL, 4LL}) {
+      BertConfig cfg;
+      cfg.hidden = h;
+      cfg.layers = L;
+      cfg.seq_len = 64;
+      cfg.vocab = 1000;
+      BuiltModel m = build_bert(cfg);
+      EXPECT_EQ(m.graph.num_params(), cfg.param_count())
+          << "h=" << h << " L=" << L;
+    }
+  }
+}
+
+TEST(Bert, BertLargeIs340MClass) {
+  BertConfig cfg;  // defaults: hidden 1024, layers 24 == BERT-Large
+  // Paper: "The original BERT model (BERT-Large) ... has 340 million
+  // parameters" (ours counts untied MLM head too).
+  EXPECT_NEAR(static_cast<double>(cfg.param_count()) / 1e6, 340, 30);
+}
+
+TEST(Bert, LargestPaperModelIsAbout13B) {
+  BertConfig cfg;
+  cfg.hidden = 2048;
+  cfg.layers = 256;
+  // Paper: "The largest model we tried (256 hidden layers of size 2048)
+  // has 12.9 billion parameters."
+  EXPECT_NEAR(static_cast<double>(cfg.param_count()) / 1e9, 12.9, 0.3);
+}
+
+TEST(Bert, LayerSpansCoverGraphExactly) {
+  BertConfig cfg;
+  cfg.hidden = 128;
+  cfg.layers = 3;
+  cfg.seq_len = 16;
+  cfg.vocab = 100;
+  BuiltModel m = build_bert(cfg);
+  ASSERT_EQ(m.layers.size(), 5u);  // embeddings + 3 + head
+  TaskId next = 0;
+  for (const LayerSpan& s : m.layers) {
+    EXPECT_EQ(s.begin, next);
+    EXPECT_GT(s.end, s.begin);
+    next = s.end;
+  }
+  EXPECT_EQ(static_cast<std::size_t>(next), m.graph.num_tasks());
+  EXPECT_TRUE(m.transformer);
+  EXPECT_EQ(m.hidden, 128);
+  EXPECT_EQ(m.seq_len, 16);
+}
+
+TEST(Bert, EncoderLayersAreStructurallyIdentical) {
+  BertConfig cfg;
+  cfg.hidden = 128;
+  cfg.layers = 4;
+  cfg.seq_len = 16;
+  cfg.vocab = 100;
+  BuiltModel m = build_bert(cfg);
+  const auto span_len = [&](std::size_t i) {
+    return m.layers[i].end - m.layers[i].begin;
+  };
+  for (std::size_t i = 2; i + 1 < m.layers.size(); ++i)
+    EXPECT_EQ(span_len(i), span_len(1));
+}
+
+TEST(ResNet, ParamCountMatchesClosedForm) {
+  for (int depth : {50, 101, 152}) {
+    ResNetConfig cfg;
+    cfg.depth = depth;
+    cfg.width_factor = 1;
+    BuiltModel m = build_resnet(cfg);
+    EXPECT_EQ(m.graph.num_params(), cfg.param_count()) << "depth " << depth;
+  }
+}
+
+TEST(ResNet, WidthFactor8MatchesPaperSizes) {
+  // Paper: "The largest model used in this experiment (ResNet152x8) has
+  // 3.7 billion parameters."
+  ResNetConfig cfg;
+  cfg.depth = 152;
+  cfg.width_factor = 8;
+  EXPECT_NEAR(static_cast<double>(cfg.param_count()) / 1e9, 3.7, 0.15);
+}
+
+TEST(ResNet, RejectsUnknownDepth) {
+  ResNetConfig cfg;
+  cfg.depth = 77;
+  EXPECT_THROW(build_resnet(cfg), std::invalid_argument);
+}
+
+TEST(ResNet, NotTransformer) {
+  ResNetConfig cfg;
+  cfg.depth = 50;
+  BuiltModel m = build_resnet(cfg);
+  EXPECT_FALSE(m.transformer);
+  // stem + 16 bottleneck blocks + head
+  EXPECT_EQ(m.layers.size(), 18u);
+}
+
+TEST(Gpt2, ParamCountMatchesClosedForm) {
+  Gpt2Config cfg;
+  cfg.hidden = 192;
+  cfg.layers = 3;
+  cfg.seq_len = 32;
+  cfg.vocab = 500;
+  BuiltModel m = build_gpt2(cfg);
+  EXPECT_EQ(m.graph.num_params(), cfg.param_count());
+  EXPECT_TRUE(m.transformer);
+}
+
+TEST(Gpt2, Gpt2SmallIs124MClass) {
+  Gpt2Config cfg;  // 768 hidden, 12 layers, 1024 ctx
+  EXPECT_NEAR(static_cast<double>(cfg.param_count()) / 1e6, 124, 15);
+}
+
+TEST(Mlp, ParamCountAndStructure) {
+  MlpConfig cfg;
+  cfg.input_dim = 10;
+  cfg.hidden_dims = {20, 30};
+  cfg.num_classes = 5;
+  BuiltModel m = build_mlp(cfg);
+  EXPECT_EQ(m.graph.num_params(), cfg.param_count());
+  EXPECT_EQ(m.graph.num_params(), 10 * 20 + 20 + 20 * 30 + 30 + 30 * 5 + 5);
+  EXPECT_EQ(m.layers.size(), 3u);
+}
+
+TEST(Mlp, BatchDimensionBakedIn) {
+  MlpConfig cfg;
+  cfg.batch = 7;
+  BuiltModel m = build_mlp(cfg);
+  EXPECT_EQ(m.graph.value(m.graph.input_values()[0]).shape.dim(0), 7);
+}
+
+class ModelValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelValidation, AllBuildersProduceValidGraphs) {
+  switch (GetParam()) {
+    case 0: {
+      BertConfig c;
+      c.hidden = 128;
+      c.layers = 2;
+      c.seq_len = 16;
+      c.vocab = 64;
+      EXPECT_NO_THROW(build_bert(c).graph.validate());
+      break;
+    }
+    case 1: {
+      ResNetConfig c;
+      c.depth = 50;
+      c.image_size = 32;
+      EXPECT_NO_THROW(build_resnet(c).graph.validate());
+      break;
+    }
+    case 2: {
+      Gpt2Config c;
+      c.hidden = 64;
+      c.layers = 2;
+      c.seq_len = 16;
+      c.vocab = 64;
+      EXPECT_NO_THROW(build_gpt2(c).graph.validate());
+      break;
+    }
+    case 3: {
+      MlpConfig c;
+      EXPECT_NO_THROW(build_mlp(c).graph.validate());
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelValidation, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace rannc

@@ -1,0 +1,184 @@
+// Tests for the pipeline schedule simulators: GPipe fill/drain against the
+// closed form, async 1F1B steady state, bubble fractions and Gantt output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pipeline/schedule.h"
+
+namespace rannc {
+namespace {
+
+std::vector<StageTimes> uniform(int S, double tf, double tb, double comm = 0) {
+  std::vector<StageTimes> v(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    v[static_cast<std::size_t>(s)] = {tf, tb, s + 1 < S ? comm : 0.0};
+  }
+  return v;
+}
+
+TEST(GPipeSchedule, MatchesClosedFormForUniformStages) {
+  for (int S : {1, 2, 4, 8}) {
+    for (int MB : {1, 2, 8, 32}) {
+      const ScheduleResult r = simulate_gpipe(uniform(S, 1.0, 2.0), MB);
+      EXPECT_NEAR(r.iteration_time, gpipe_iteration_uniform(1.0, 2.0, S, MB),
+                  1e-9)
+          << "S=" << S << " MB=" << MB;
+    }
+  }
+}
+
+TEST(GPipeSchedule, SingleStageHasNoBubble) {
+  const ScheduleResult r = simulate_gpipe(uniform(1, 1.0, 2.0), 4);
+  EXPECT_NEAR(r.bubble_fraction, 0.0, 1e-9);
+  EXPECT_NEAR(r.iteration_time, 4 * 3.0, 1e-9);
+}
+
+TEST(GPipeSchedule, BubbleShrinksWithMoreMicrobatches) {
+  const double b4 = simulate_gpipe(uniform(4, 1, 1), 4).bubble_fraction;
+  const double b32 = simulate_gpipe(uniform(4, 1, 1), 32).bubble_fraction;
+  EXPECT_GT(b4, b32);
+  EXPECT_GT(b4, 0.0);
+}
+
+TEST(GPipeSchedule, BottleneckStageDominates) {
+  // One slow stage: iteration ~ MB * slow + drain.
+  std::vector<StageTimes> st = uniform(3, 1.0, 1.0);
+  st[1].t_f = 5.0;
+  st[1].t_b = 5.0;
+  const ScheduleResult r = simulate_gpipe(st, 16);
+  EXPECT_GE(r.iteration_time, 16 * 10.0);
+  EXPECT_LE(r.iteration_time, 16 * 10.0 + 3 * 12.0);
+}
+
+TEST(GPipeSchedule, CommunicationDelaysSuccessor) {
+  const double no_comm = simulate_gpipe(uniform(2, 1, 1, 0.0), 4).iteration_time;
+  const double comm = simulate_gpipe(uniform(2, 1, 1, 0.5), 4).iteration_time;
+  EXPECT_GT(comm, no_comm);
+}
+
+TEST(GPipeSchedule, IntervalsRespectDependencies) {
+  const ScheduleResult r = simulate_gpipe(uniform(3, 1, 2), 4);
+  // Forward of (s, j) must end before forward of (s+1, j) ends.
+  auto find = [&](int s, int j, bool bwd) {
+    for (const ScheduleInterval& iv : r.intervals)
+      if (iv.stage == s && iv.microbatch == j && iv.backward == bwd) return iv;
+    ADD_FAILURE() << "missing interval";
+    return ScheduleInterval{};
+  };
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_LE(find(0, j, false).end, find(1, j, false).start + 1e-12);
+    EXPECT_LE(find(2, j, true).end, find(1, j, true).start + 1e-12);
+    EXPECT_LE(find(1, j, false).end, find(1, j, true).start + 1e-12);
+  }
+}
+
+TEST(AsyncSchedule, NoFlushNoBubbleForUniformStages) {
+  const ScheduleResult r = simulate_1f1b_async(uniform(4, 1, 2), 8);
+  EXPECT_NEAR(r.iteration_time, 8 * 3.0, 1e-9);
+  EXPECT_NEAR(r.bubble_fraction, 0.0, 1e-9);
+}
+
+TEST(AsyncSchedule, FasterThanGPipeForSameStages) {
+  const auto st = uniform(4, 1, 2);
+  EXPECT_LT(simulate_1f1b_async(st, 8).iteration_time,
+            simulate_gpipe(st, 8).iteration_time);
+}
+
+TEST(AsyncSchedule, BottleneckStagePeriodDominates) {
+  std::vector<StageTimes> st = uniform(3, 1, 1);
+  st[2].t_f = 4;
+  st[2].t_b = 4;
+  EXPECT_NEAR(simulate_1f1b_async(st, 10).iteration_time, 80.0, 1e-9);
+}
+
+TEST(Gantt, RendersOneRowPerStage) {
+  const ScheduleResult r = simulate_gpipe(uniform(3, 1, 2), 4);
+  const std::string gantt = render_gantt(r, 3, 60);
+  EXPECT_EQ(std::count(gantt.begin(), gantt.end(), '\n'), 3);
+  EXPECT_NE(gantt.find('F'), std::string::npos);
+  EXPECT_NE(gantt.find('B'), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleRendersEmpty) {
+  EXPECT_TRUE(render_gantt(ScheduleResult{}, 0).empty());
+}
+
+class MicrobatchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MicrobatchSweep, GPipeNeverFasterThanWorkLowerBound) {
+  const int MB = GetParam();
+  const auto st = uniform(4, 1.5, 2.5);
+  const ScheduleResult r = simulate_gpipe(st, MB);
+  EXPECT_GE(r.iteration_time, MB * (1.5 + 2.5) - 1e-9);
+  EXPECT_GE(r.bubble_fraction, -1e-12);
+  EXPECT_LT(r.bubble_fraction, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(MBs, MicrobatchSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 64));
+
+
+TEST(Sync1F1B, MatchesGPipeMakespanForUniformStages) {
+  // Same bubble as GPipe for uniform stages (the discipline only reorders
+  // work, it does not remove the flush).
+  for (int S : {2, 4}) {
+    for (int MB : {4, 8, 16}) {
+      const auto st = uniform(S, 1.0, 2.0);
+      const double gp = simulate_gpipe(st, MB).iteration_time;
+      const double fb = simulate_1f1b_sync(st, MB).iteration_time;
+      EXPECT_NEAR(fb, gp, 1e-9) << "S=" << S << " MB=" << MB;
+    }
+  }
+}
+
+TEST(Sync1F1B, SchedulesEveryOperationExactlyOnce) {
+  const ScheduleResult r = simulate_1f1b_sync(uniform(3, 1, 2), 5);
+  int fwd = 0, bwd = 0;
+  for (const ScheduleInterval& iv : r.intervals) (iv.backward ? bwd : fwd)++;
+  EXPECT_EQ(fwd, 3 * 5);
+  EXPECT_EQ(bwd, 3 * 5);
+}
+
+TEST(Sync1F1B, RespectsDependencies) {
+  const ScheduleResult r = simulate_1f1b_sync(uniform(3, 1.5, 2.5), 6);
+  auto find = [&](int s, int j, bool bwd) {
+    for (const ScheduleInterval& iv : r.intervals)
+      if (iv.stage == s && iv.microbatch == j && iv.backward == bwd) return iv;
+    ADD_FAILURE() << "missing interval";
+    return ScheduleInterval{};
+  };
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_LE(find(0, j, false).end, find(1, j, false).start + 1e-12);
+    EXPECT_LE(find(1, j, false).end, find(2, j, false).start + 1e-12);
+    EXPECT_LE(find(2, j, true).end, find(1, j, true).start + 1e-12);
+    EXPECT_LE(find(1, j, false).end, find(1, j, true).start + 1e-12);
+  }
+}
+
+TEST(Sync1F1B, LimitsInFlightMicrobatchesToPipelineDepth) {
+  // Stage s never holds more than S - s forwards without a backward: count
+  // max outstanding (forward done, backward not yet started) per stage.
+  const int S = 4, MB = 12;
+  const ScheduleResult r = simulate_1f1b_sync(uniform(S, 1, 1), MB);
+  for (int s = 0; s < S; ++s) {
+    std::vector<std::pair<double, int>> events;  // time, +1 fwd-end/-1 bwd-start
+    for (const ScheduleInterval& iv : r.intervals) {
+      if (iv.stage != s) continue;
+      if (!iv.backward)
+        events.push_back({iv.end, +1});
+      else
+        events.push_back({iv.start, -1});
+    }
+    std::sort(events.begin(), events.end());
+    int live = 0, peak = 0;
+    for (auto [t, d] : events) {
+      live += d;
+      peak = std::max(peak, live);
+    }
+    EXPECT_LE(peak, S - s) << "stage " << s;
+  }
+}
+
+}  // namespace
+}  // namespace rannc

@@ -1,0 +1,135 @@
+// Tests for plan validation and JSON round-tripping.
+#include <gtest/gtest.h>
+
+#include "models/bert.h"
+#include "models/mlp.h"
+#include "partition/auto_partitioner.h"
+#include "partition/plan_io.h"
+
+namespace rannc {
+namespace {
+
+PartitionResult small_plan(PartitionConfig& cfg) {
+  BertConfig bc;
+  bc.hidden = 128;
+  bc.layers = 4;
+  bc.seq_len = 32;
+  bc.vocab = 256;
+  cfg.batch_size = 64;
+  BuiltModel m = build_bert(bc);
+  return auto_partition(m.graph, cfg);
+}
+
+TEST(ValidatePlan, AcceptsAutoPartitionOutput) {
+  PartitionConfig cfg;
+  PartitionResult plan = small_plan(cfg);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_TRUE(validate_plan(plan, cfg).empty());
+}
+
+TEST(ValidatePlan, DetectsMissingTask) {
+  PartitionConfig cfg;
+  PartitionResult plan = small_plan(cfg);
+  ASSERT_TRUE(plan.feasible);
+  plan.stages.back().tasks.pop_back();
+  const auto v = validate_plan(plan, cfg);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().what.find("not assigned"), std::string::npos);
+}
+
+TEST(ValidatePlan, DetectsDoubleAssignment) {
+  PartitionConfig cfg;
+  PartitionResult plan = small_plan(cfg);
+  ASSERT_TRUE(plan.feasible);
+  if (plan.stages.size() < 2) GTEST_SKIP();
+  plan.stages[1].tasks.push_back(plan.stages[0].tasks.front());
+  const auto v = validate_plan(plan, cfg);
+  ASSERT_FALSE(v.empty());
+}
+
+TEST(ValidatePlan, DetectsNonConvexStage) {
+  PartitionConfig cfg;
+  PartitionResult plan = small_plan(cfg);
+  ASSERT_TRUE(plan.feasible);
+  if (plan.stages.size() < 2) GTEST_SKIP();
+  // Move the model's final task (the loss, which consumes last-stage
+  // values) into the first stage: guarantees a backward-flowing value
+  // and/or a non-convex stage.
+  StagePlan& last = plan.stages.back();
+  plan.stages.front().tasks.push_back(last.tasks.back());
+  last.tasks.pop_back();
+  std::sort(plan.stages.front().tasks.begin(), plan.stages.front().tasks.end());
+  EXPECT_FALSE(validate_plan(plan, cfg).empty());
+}
+
+TEST(ValidatePlan, DetectsMemoryOverrun) {
+  PartitionConfig cfg;
+  PartitionResult plan = small_plan(cfg);
+  ASSERT_TRUE(plan.feasible);
+  plan.stages[0].mem = cfg.usable_memory() + 1;
+  const auto v = validate_plan(plan, cfg);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().what.find("memory"), std::string::npos);
+}
+
+TEST(ValidatePlan, DetectsDeviceOversubscription) {
+  PartitionConfig cfg;
+  PartitionResult plan = small_plan(cfg);
+  ASSERT_TRUE(plan.feasible);
+  plan.stages[0].devices = cfg.cluster.total_devices() + 1;
+  plan.stages[0].replicas_total = plan.stages[0].devices * plan.pipelines;
+  EXPECT_FALSE(validate_plan(plan, cfg).empty());
+}
+
+TEST(ValidatePlan, RejectsInfeasibleAndGraphlessPlans) {
+  PartitionConfig cfg;
+  PartitionResult empty;
+  EXPECT_FALSE(validate_plan(empty, cfg).empty());
+  empty.feasible = true;
+  EXPECT_FALSE(validate_plan(empty, cfg).empty());  // no graph attached
+}
+
+TEST(PlanJson, RoundTripPreservesEverything) {
+  PartitionConfig cfg;
+  PartitionResult plan = small_plan(cfg);
+  ASSERT_TRUE(plan.feasible);
+  const std::string json = plan_to_json(plan);
+  PartitionResult restored = plan_from_json(json);
+
+  EXPECT_EQ(restored.feasible, plan.feasible);
+  EXPECT_EQ(restored.microbatches, plan.microbatches);
+  EXPECT_EQ(restored.pipelines, plan.pipelines);
+  EXPECT_EQ(restored.nodes_used, plan.nodes_used);
+  EXPECT_DOUBLE_EQ(restored.est_iteration_time, plan.est_iteration_time);
+  ASSERT_EQ(restored.stages.size(), plan.stages.size());
+  for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+    EXPECT_EQ(restored.stages[s].tasks, plan.stages[s].tasks);
+    EXPECT_EQ(restored.stages[s].devices, plan.stages[s].devices);
+    EXPECT_EQ(restored.stages[s].replicas_total, plan.stages[s].replicas_total);
+    EXPECT_EQ(restored.stages[s].microbatch_size,
+              plan.stages[s].microbatch_size);
+    EXPECT_EQ(restored.stages[s].mem, plan.stages[s].mem);
+    EXPECT_EQ(restored.stages[s].param_bytes, plan.stages[s].param_bytes);
+  }
+  // The restored plan revalidates after re-attaching the graph.
+  restored.graph = plan.graph;
+  EXPECT_TRUE(validate_plan(restored, cfg).empty());
+}
+
+TEST(PlanJson, RejectsMalformedInput) {
+  EXPECT_THROW(plan_from_json("not json"), std::invalid_argument);
+  EXPECT_THROW(plan_from_json("{\"version\": 2}"), std::invalid_argument);
+  EXPECT_THROW(plan_from_json("{\"unknown_key\": 1}"), std::invalid_argument);
+  EXPECT_THROW(plan_from_json("{\"stages\": [{\"bogus\": 1}]}"),
+               std::invalid_argument);
+}
+
+TEST(PlanJson, EmptyStagesArray) {
+  PartitionResult plan = plan_from_json(
+      "{\"version\": 1, \"feasible\": false, \"stages\": []}");
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_TRUE(plan.stages.empty());
+}
+
+}  // namespace
+}  // namespace rannc

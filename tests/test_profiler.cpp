@@ -1,0 +1,169 @@
+// Unit tests for the analytic profiler: FLOP counts, roofline behaviour,
+// precision effects, memoization and the stage memory estimator.
+#include <gtest/gtest.h>
+
+#include "graph/task_graph.h"
+#include "profiler/graph_profiler.h"
+#include "profiler/memory.h"
+#include "profiler/op_cost.h"
+
+namespace rannc {
+namespace {
+
+TaskGraph matmul_graph(std::int64_t m, std::int64_t k, std::int64_t n) {
+  TaskGraph g("mm");
+  ValueId x = g.add_input("x", Shape{m, k});
+  ValueId w = g.add_param("w", Shape{k, n});
+  ValueId y = g.add_task("mm", OpKind::MatMul, {x, w}, Shape{m, n});
+  g.mark_output(y);
+  return g;
+}
+
+TEST(OpCost, MatMulFlops) {
+  TaskGraph g = matmul_graph(32, 64, 128);
+  const OpCost c = op_cost(g, g.task(0));
+  EXPECT_DOUBLE_EQ(c.flops_f, 2.0 * 32 * 64 * 128);
+  EXPECT_DOUBLE_EQ(c.flops_b, 4.0 * 32 * 64 * 128);
+  EXPECT_TRUE(c.gemm_like);
+  EXPECT_DOUBLE_EQ(c.param_bytes, 64 * 128 * 4.0);
+}
+
+TEST(OpCost, Conv2dFlops) {
+  TaskGraph g("conv");
+  ValueId x = g.add_input("x", Shape{1, 3, 8, 8});
+  ValueId w = g.add_param("w", Shape{16, 3, 3, 3});
+  ValueId y = g.add_task("c", OpKind::Conv2d, {x, w}, Shape{1, 16, 8, 8},
+                         DType::F32, OpAttrs{}.set("stride", std::int64_t{1}).set("pad", std::int64_t{1}));
+  g.mark_output(y);
+  const OpCost c = op_cost(g, g.task(0));
+  EXPECT_DOUBLE_EQ(c.flops_f, 2.0 * 16 * 8 * 8 * 3 * 3 * 3);
+  EXPECT_TRUE(c.gemm_like);
+}
+
+TEST(OpCost, ElementwiseNotGemm) {
+  TaskGraph g("ew");
+  ValueId x = g.add_input("x", Shape{100});
+  ValueId y = g.add_task("r", OpKind::Relu, {x}, Shape{100});
+  g.mark_output(y);
+  const OpCost c = op_cost(g, g.task(0));
+  EXPECT_FALSE(c.gemm_like);
+  EXPECT_DOUBLE_EQ(c.flops_f, 100.0);
+}
+
+TEST(OpCost, ReshapeIsFree) {
+  TaskGraph g("rs");
+  ValueId x = g.add_input("x", Shape{4, 4});
+  ValueId y = g.add_task("r", OpKind::Reshape, {x}, Shape{16});
+  g.mark_output(y);
+  const OpCost c = op_cost(g, g.task(0));
+  EXPECT_DOUBLE_EQ(c.flops_f, 0.0);
+  EXPECT_DOUBLE_EQ(c.act_bytes_f, 0.0);
+}
+
+TEST(GraphProfiler, TimesScaleWithBatchForComputeBound) {
+  TaskGraph g = matmul_graph(512, 1024, 1024);  // compute-bound GEMM
+  GraphProfiler prof(g, DeviceSpec{});
+  const double t1 = prof.task_time_f(0, 1, false);
+  const double t8 = prof.task_time_f(0, 8, false);
+  EXPECT_GT(t8, 4 * t1);  // near-linear once compute-bound
+}
+
+TEST(GraphProfiler, StandaloneSlowerThanFused) {
+  TaskGraph g = matmul_graph(8, 8, 8);  // tiny op: overhead-dominated
+  GraphProfiler prof(g, DeviceSpec{});
+  EXPECT_GT(prof.task_time_f(0, 1, true), prof.task_time_f(0, 1, false));
+}
+
+TEST(GraphProfiler, MixedPrecisionFasterForGemm) {
+  TaskGraph g = matmul_graph(512, 1024, 1024);
+  GraphProfiler fp32(g, DeviceSpec{}, Precision::FP32);
+  GraphProfiler amp(g, DeviceSpec{}, Precision::Mixed);
+  EXPECT_LT(amp.task_time_f(0, 8, false), fp32.task_time_f(0, 8, false));
+  EXPECT_DOUBLE_EQ(amp.act_factor(), 0.5);
+}
+
+TEST(GraphProfiler, ProfileAggregatesAndMemoizes) {
+  TaskGraph g = matmul_graph(32, 64, 128);
+  GraphProfiler prof(g, DeviceSpec{});
+  const ProfileResult& p1 = prof.profile({0}, 4);
+  EXPECT_GT(p1.t_fwd, 0);
+  EXPECT_GT(p1.t_bwd, p1.t_fwd);
+  EXPECT_EQ(p1.num_params, 64 * 128);
+  const std::size_t evals = prof.profile_evals();
+  const ProfileResult& p2 = prof.profile({0}, 4);
+  EXPECT_EQ(prof.profile_evals(), evals);  // memo hit
+  EXPECT_EQ(&p1, &p2);
+  prof.profile({0}, 8);
+  EXPECT_EQ(prof.profile_evals(), evals + 1);  // new batch -> new eval
+}
+
+TEST(GraphProfiler, BoundaryBytesSplitInOut) {
+  // Two-task chain: profile the first task only.
+  TaskGraph g("chain2");
+  ValueId x = g.add_input("x", Shape{10});
+  ValueId a = g.add_task("a", OpKind::Relu, {x}, Shape{10});
+  ValueId b = g.add_task("b", OpKind::Relu, {a}, Shape{10});
+  g.mark_output(b);
+  GraphProfiler prof(g, DeviceSpec{});
+  const ProfileResult& p = prof.profile({0}, 2);
+  EXPECT_EQ(p.boundary_in_bytes, 10 * 4 * 2);   // x at batch 2
+  EXPECT_EQ(p.boundary_out_bytes, 10 * 4 * 2);  // a
+  EXPECT_EQ(p.boundary_bytes, p.boundary_in_bytes + p.boundary_out_bytes);
+}
+
+TEST(StageMemory, Fp32AdamBytesPerParam) {
+  ProfileResult p;
+  p.num_params = 1000;
+  p.act_bytes = 5000;
+  p.boundary_bytes = 100;
+  const StageMemory m =
+      stage_memory(p, Precision::FP32, OptimizerKind::Adam, 1, false);
+  EXPECT_EQ(m.weights, 4000);
+  EXPECT_EQ(m.grads, 4000);
+  EXPECT_EQ(m.optimizer, 8000);
+  EXPECT_EQ(m.activations, 5000);
+  EXPECT_EQ(m.total(), 21000);
+}
+
+TEST(StageMemory, MixedPrecisionKeepsMasterWeights) {
+  ProfileResult p;
+  p.num_params = 1000;
+  const StageMemory m =
+      stage_memory(p, Precision::Mixed, OptimizerKind::Adam, 1, false);
+  EXPECT_EQ(m.weights, 6000);  // fp16 copy + fp32 master
+  EXPECT_EQ(m.grads, 2000);
+  EXPECT_EQ(m.optimizer, 8000);
+}
+
+TEST(StageMemory, CheckpointingStoresBoundariesNotActivations) {
+  ProfileResult p;
+  p.num_params = 0;
+  p.act_bytes = 1000;
+  p.boundary_bytes = 10;
+  const StageMemory plain =
+      stage_memory(p, Precision::FP32, OptimizerKind::SGD, 8, false);
+  const StageMemory ckpt =
+      stage_memory(p, Precision::FP32, OptimizerKind::SGD, 8, true);
+  EXPECT_EQ(plain.activations, 8000);
+  EXPECT_EQ(ckpt.activations, 8 * 10 + 1000);
+  EXPECT_LT(ckpt.total(), plain.total());
+}
+
+class BatchSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BatchSweep, TimeAndMemoryMonotoneInBatch) {
+  TaskGraph g = matmul_graph(64, 256, 256);
+  GraphProfiler prof(g, DeviceSpec{});
+  const std::int64_t b = GetParam();
+  const ProfileResult& small = prof.profile({0}, b);
+  const ProfileResult& big = prof.profile({0}, 2 * b);
+  EXPECT_LT(small.t_fwd, big.t_fwd);
+  EXPECT_LT(small.act_bytes, big.act_bytes);
+  EXPECT_EQ(small.num_params, big.num_params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace rannc

@@ -1,0 +1,187 @@
+// Tests for the execution runtime: optimizers, the reference trainer, and
+// the multi-threaded pipeline trainer's numerical equivalence with
+// single-device training (the paper's loss-parity validation, Section IV-B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/mlp.h"
+#include "runtime/pipeline_runtime.h"
+#include "runtime/trainer.h"
+
+namespace rannc {
+namespace {
+
+/// Deterministic synthetic classification microbatches for an MLP.
+std::vector<TensorMap> make_microbatches(const TaskGraph& g, int count,
+                                         std::uint64_t seed) {
+  const ValueId x = g.input_values()[0];
+  const ValueId y = g.input_values()[1];
+  const Shape& xs = g.value(x).shape;
+  const std::int64_t b = xs.dims[0];
+  std::vector<TensorMap> mbs;
+  for (int j = 0; j < count; ++j) {
+    TensorMap m;
+    m.emplace(x, Tensor::uniform(xs, 1.0f, seed + static_cast<std::uint64_t>(j)));
+    Tensor labels(Shape{b});
+    for (std::int64_t i = 0; i < b; ++i)
+      labels.at(i) = static_cast<float>((i + j) % 10);
+    m.emplace(y, std::move(labels));
+    mbs.push_back(std::move(m));
+  }
+  return mbs;
+}
+
+MlpConfig test_mlp() {
+  MlpConfig c;
+  c.input_dim = 12;
+  c.hidden_dims = {16, 16, 16};
+  c.num_classes = 10;
+  c.batch = 4;
+  return c;
+}
+
+/// Splits tasks into `S` contiguous chunks (valid stages for a chain MLP).
+std::vector<std::vector<TaskId>> chunk_stages(const TaskGraph& g, int S) {
+  std::vector<std::vector<TaskId>> stages(static_cast<std::size_t>(S));
+  const auto n = static_cast<int>(g.num_tasks());
+  for (int t = 0; t < n; ++t)
+    stages[static_cast<std::size_t>(std::min(S - 1, t * S / n))].push_back(t);
+  return stages;
+}
+
+TEST(Optimizer, SgdStepMovesAgainstGradient) {
+  OptimizerConfig cfg;
+  cfg.kind = OptimizerConfig::Kind::SGD;
+  cfg.lr = 0.5f;
+  Optimizer opt(cfg);
+  TensorMap params, grads;
+  params.emplace(0, Tensor(Shape{2}, {1.0f, 2.0f}));
+  grads.emplace(0, Tensor(Shape{2}, {1.0f, -1.0f}));
+  opt.step(params, grads);
+  EXPECT_FLOAT_EQ(params.at(0).at(0), 0.5f);
+  EXPECT_FLOAT_EQ(params.at(0).at(1), 2.5f);
+}
+
+TEST(Optimizer, AdamFirstStepIsLrSized) {
+  OptimizerConfig cfg;
+  cfg.kind = OptimizerConfig::Kind::Adam;
+  cfg.lr = 0.1f;
+  Optimizer opt(cfg);
+  TensorMap params, grads;
+  params.emplace(0, Tensor(Shape{1}, {1.0f}));
+  grads.emplace(0, Tensor(Shape{1}, {3.0f}));
+  opt.step(params, grads);
+  // Bias-corrected Adam's first update is ~lr regardless of grad magnitude.
+  EXPECT_NEAR(params.at(0).at(0), 1.0f - 0.1f, 1e-5);
+}
+
+TEST(InitParams, DeterministicAndPyTorchLike) {
+  MlpConfig mc = test_mlp();
+  BuiltModel m = build_mlp(mc);
+  TensorMap p1 = init_params(m.graph, 7);
+  TensorMap p2 = init_params(m.graph, 7);
+  for (const auto& [v, t] : p1)
+    EXPECT_FLOAT_EQ(max_abs_diff(t, p2.at(v)), 0.0f);
+  // Biases start at zero.
+  for (const Value& v : m.graph.values())
+    if (v.kind == ValueKind::Param && v.name.ends_with(".bias"))
+      EXPECT_FLOAT_EQ(p1.at(v.id).max_abs(), 0.0f);
+}
+
+TEST(Trainer, LossDecreasesOnFixedBatch) {
+  BuiltModel m = build_mlp(test_mlp());
+  OptimizerConfig oc;
+  oc.kind = OptimizerConfig::Kind::Adam;
+  oc.lr = 0.01f;
+  Trainer trainer(m.graph, oc, /*seed=*/3);
+  const auto mbs = make_microbatches(m.graph, 2, 99);
+  const float first = trainer.step(mbs);
+  float last = first;
+  for (int i = 0; i < 30; ++i) last = trainer.step(mbs);
+  EXPECT_LT(last, first * 0.7f) << "training did not reduce the loss";
+}
+
+TEST(Trainer, RequiresScalarLossOutput) {
+  TaskGraph g("two_out");
+  ValueId x = g.add_input("x", Shape{2});
+  ValueId a = g.add_task("a", OpKind::Relu, {x}, Shape{2});
+  g.mark_output(a);  // non-scalar output
+  EXPECT_THROW(Trainer(g, OptimizerConfig{}), std::invalid_argument);
+}
+
+class PipelineEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(PipelineEquivalence, MatchesSingleDeviceTraining) {
+  const auto [num_stages, microbatches, recompute] = GetParam();
+  BuiltModel m = build_mlp(test_mlp());
+  OptimizerConfig oc;
+  oc.kind = OptimizerConfig::Kind::Adam;
+  oc.lr = 0.01f;
+
+  Trainer reference(m.graph, oc, /*seed=*/11);
+  PipelineOptions popt;
+  popt.opt = oc;
+  popt.seed = 11;
+  popt.recompute = recompute;
+  PipelineTrainer pipeline(m.graph, chunk_stages(m.graph, num_stages), popt);
+
+  for (int step = 0; step < 10; ++step) {
+    const auto mbs =
+        make_microbatches(m.graph, microbatches, 1000 + 17 * static_cast<std::uint64_t>(step));
+    const float ref_loss = reference.step(mbs);
+    const float pipe_loss = pipeline.step(mbs);
+    // Same kernels, same accumulation order: losses agree to float noise.
+    EXPECT_NEAR(ref_loss, pipe_loss, 1e-5f) << "step " << step;
+  }
+
+  // Parameters agree shard-by-shard after training.
+  for (std::size_t s = 0; s < pipeline.num_stages(); ++s)
+    for (const auto& [v, t] : pipeline.stage_params(s))
+      EXPECT_LE(max_abs_diff(t, reference.params().at(v)), 1e-4f)
+          << m.graph.value(v).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StagesAndMicrobatches, PipelineEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(false, true)));
+
+TEST(PipelineTrainer, RejectsOverlappingStages) {
+  BuiltModel m = build_mlp(test_mlp());
+  auto stages = chunk_stages(m.graph, 2);
+  stages[1].push_back(stages[0][0]);  // duplicate task
+  EXPECT_THROW(PipelineTrainer(m.graph, stages, PipelineOptions{}),
+               std::invalid_argument);
+}
+
+TEST(PipelineTrainer, RejectsIncompleteCover) {
+  BuiltModel m = build_mlp(test_mlp());
+  auto stages = chunk_stages(m.graph, 2);
+  stages[1].pop_back();
+  EXPECT_THROW(PipelineTrainer(m.graph, stages, PipelineOptions{}),
+               std::invalid_argument);
+}
+
+TEST(PipelineTrainer, RecomputeMatchesStored) {
+  // Gradient checkpointing must not change the numbers, only the memory.
+  BuiltModel m = build_mlp(test_mlp());
+  OptimizerConfig oc;
+  oc.lr = 0.05f;
+  PipelineOptions stored;
+  stored.opt = oc;
+  stored.seed = 5;
+  PipelineOptions ckpt = stored;
+  ckpt.recompute = true;
+  PipelineTrainer a(m.graph, chunk_stages(m.graph, 3), stored);
+  PipelineTrainer b(m.graph, chunk_stages(m.graph, 3), ckpt);
+  for (int step = 0; step < 5; ++step) {
+    const auto mbs = make_microbatches(m.graph, 2, 50 + static_cast<std::uint64_t>(step));
+    EXPECT_FLOAT_EQ(a.step(mbs), b.step(mbs));
+  }
+}
+
+}  // namespace
+}  // namespace rannc

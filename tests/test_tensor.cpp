@@ -1,0 +1,247 @@
+// Tests for the dense tensor, the thread pool, and every forward kernel
+// against small hand-computed references.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "tensor/thread_pool.h"
+
+namespace rannc {
+namespace {
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t(Shape{2, 3}, 1.5f);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_FLOAT_EQ(t.sum(), 9.0f);
+  t.fill(0);
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+}
+
+TEST(Tensor, CopiesAreShallowCloneIsDeep) {
+  Tensor a(Shape{4}, 1.0f);
+  Tensor b = a;          // shallow
+  Tensor c = a.clone();  // deep
+  a.at(0) = 5.0f;
+  EXPECT_FLOAT_EQ(b.at(0), 5.0f);
+  EXPECT_FLOAT_EQ(c.at(0), 1.0f);
+}
+
+TEST(Tensor, ReshapeSharesData) {
+  Tensor a(Shape{2, 3}, 2.0f);
+  Tensor r = a.reshaped(Shape{6});
+  r.at(0) = 7.0f;
+  EXPECT_FLOAT_EQ(a.at(0), 7.0f);
+  EXPECT_THROW(a.reshaped(Shape{5}), std::invalid_argument);
+}
+
+TEST(Tensor, UniformIsDeterministicPerSeed) {
+  Tensor a = Tensor::uniform(Shape{100}, 1.0f, 42);
+  Tensor b = Tensor::uniform(Shape{100}, 1.0f, 42);
+  Tensor c = Tensor::uniform(Shape{100}, 1.0f, 43);
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.0f);
+  EXPECT_GT(max_abs_diff(a, c), 0.0f);
+  EXPECT_LE(a.max_abs(), 1.0f);
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(10000);
+  ThreadPool::global().parallel_for(0, 10000, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  int count = 0;
+  ThreadPool::global().parallel_for(5, 5, [&](std::int64_t, std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  std::atomic<int> total{0};
+  ThreadPool::global().parallel_for(0, 3, [&](std::int64_t b, std::int64_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(MatMul, SmallReference) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0), 58);
+  EXPECT_FLOAT_EQ(c.at(1), 64);
+  EXPECT_FLOAT_EQ(c.at(2), 139);
+  EXPECT_FLOAT_EQ(c.at(3), 154);
+}
+
+TEST(MatMul, BatchedBothSides) {
+  // Two batches of 1x2 @ 2x1.
+  Tensor a(Shape{2, 1, 2}, {1, 2, 3, 4});
+  Tensor b(Shape{2, 2, 1}, {5, 6, 7, 8});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0), 17);  // 1*5+2*6
+  EXPECT_FLOAT_EQ(c.at(1), 53);  // 3*7+4*8
+}
+
+TEST(MatMul, BatchedLhsSharedRhs) {
+  Tensor a(Shape{2, 1, 2}, {1, 2, 3, 4});
+  Tensor b(Shape{2, 1}, {5, 6});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0), 17);
+  EXPECT_FLOAT_EQ(c.at(1), 39);
+}
+
+TEST(MatMul, RejectsMismatchedInner) {
+  Tensor a(Shape{2, 3}, 1.0f);
+  Tensor b(Shape{4, 2}, 1.0f);
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Transpose, Permutes2D) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose(a, {1, 0});
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(t.at(0), 1);
+  EXPECT_FLOAT_EQ(t.at(1), 4);
+  EXPECT_FLOAT_EQ(t.at(2), 2);
+}
+
+TEST(Transpose, Permutes3D) {
+  Tensor a(Shape{2, 1, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose(a, {1, 0, 2});  // -> [1, 2, 3]
+  EXPECT_EQ(t.shape(), (Shape{1, 2, 3}));
+  EXPECT_FLOAT_EQ(max_abs_diff(t.reshaped(Shape{6}), a.reshaped(Shape{6})), 0);
+}
+
+TEST(Add, BroadcastBias) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b(Shape{3}, {10, 20, 30});
+  Tensor c = add(a, b);
+  EXPECT_FLOAT_EQ(c.at(0), 11);
+  EXPECT_FLOAT_EQ(c.at(5), 36);
+}
+
+TEST(Add, ReduceGradSumsOverBroadcast) {
+  Tensor g(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor db = add_reduce_grad(g, Shape{3});
+  EXPECT_FLOAT_EQ(db.at(0), 5);
+  EXPECT_FLOAT_EQ(db.at(1), 7);
+  EXPECT_FLOAT_EQ(db.at(2), 9);
+  // Equal shapes: identity.
+  Tensor same = add_reduce_grad(g, Shape{2, 3});
+  EXPECT_FLOAT_EQ(max_abs_diff(same, g), 0);
+}
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  Tensor a(Shape{2, 4}, {1, 2, 3, 4, -1, 0, 1, 2});
+  Tensor s = softmax_lastdim(a);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (int j = 0; j < 4; ++j) sum += s.at(r * 4 + j);
+    EXPECT_NEAR(sum, 1.0f, 1e-6);
+    EXPECT_LT(s.at(r * 4), s.at(r * 4 + 3));
+  }
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor a(Shape{1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor s = softmax_lastdim(a);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(s.at(j), 1.0f / 3.0f, 1e-6);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Tensor x(Shape{2, 4}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor gamma(Shape{4}, 1.0f);
+  Tensor beta(Shape{4}, 0.0f);
+  LayerNormResult r = layernorm(x, gamma, beta);
+  for (int row = 0; row < 2; ++row) {
+    float mean = 0, var = 0;
+    for (int j = 0; j < 4; ++j) mean += r.y.at(row * 4 + j);
+    EXPECT_NEAR(mean / 4, 0.0f, 1e-5);
+    for (int j = 0; j < 4; ++j) var += r.y.at(row * 4 + j) * r.y.at(row * 4 + j);
+    EXPECT_NEAR(var / 4, 1.0f, 1e-3);
+  }
+}
+
+TEST(Gelu, KnownValues) {
+  Tensor x(Shape{3}, {0.0f, 1.0f, -1.0f});
+  Tensor y = gelu(x);
+  EXPECT_NEAR(y.at(0), 0.0f, 1e-6);
+  EXPECT_NEAR(y.at(1), 0.841345f, 1e-5);
+  EXPECT_NEAR(y.at(2), -0.158655f, 1e-5);
+}
+
+TEST(Embedding, GathersRows) {
+  Tensor ids(Shape{3}, {2, 0, 1});
+  Tensor table(Shape{3, 2}, {10, 11, 20, 21, 30, 31});
+  Tensor out = embedding(ids, table);
+  EXPECT_FLOAT_EQ(out.at(0), 30);
+  EXPECT_FLOAT_EQ(out.at(2), 10);
+  EXPECT_FLOAT_EQ(out.at(4), 20);
+}
+
+TEST(Embedding, GradScattersRows) {
+  Tensor ids(Shape{2}, {1, 1});  // same row twice: grads accumulate
+  Tensor g(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor dt = embedding_grad(g, ids, Shape{3, 2});
+  EXPECT_FLOAT_EQ(dt.at(2), 4);  // 1 + 3
+  EXPECT_FLOAT_EQ(dt.at(3), 6);  // 2 + 4
+  EXPECT_FLOAT_EQ(dt.at(0), 0);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits(Shape{2, 4}, 0.0f);
+  Tensor targets(Shape{2}, {0, 3});
+  CrossEntropyResult r = cross_entropy(logits, targets);
+  EXPECT_NEAR(r.loss.at(0), std::log(4.0f), 1e-5);
+}
+
+TEST(Conv2d, IdentityKernel) {
+  Tensor x(Shape{1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w(Shape{1, 1, 1, 1}, {2.0f});
+  Tensor y = conv2d(x, w, 1, 0);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3, 3}));
+  EXPECT_FLOAT_EQ(y.at(4), 10.0f);
+}
+
+TEST(Conv2d, StrideAndPadding) {
+  Tensor x(Shape{1, 1, 4, 4}, 1.0f);
+  Tensor w(Shape{1, 1, 3, 3}, 1.0f);
+  Tensor y = conv2d(x, w, 2, 1);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0), 4.0f);  // corner: 2x2 valid window
+}
+
+TEST(MaxPool, TracksArgmax) {
+  Tensor x(Shape{1, 1, 2, 2}, {1, 5, 3, 2});
+  MaxPoolResult r = maxpool2d(x, 2, 2, 0);
+  EXPECT_EQ(r.y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(r.y.at(0), 5.0f);
+  EXPECT_EQ(r.argmax[0], 1);
+  Tensor g(Shape{1, 1, 1, 1}, {2.0f});
+  Tensor dx = maxpool2d_grad(g, r, x.shape());
+  EXPECT_FLOAT_EQ(dx.at(1), 2.0f);
+  EXPECT_FLOAT_EQ(dx.at(0), 0.0f);
+}
+
+TEST(GlobalAvgPool, AveragesPlane) {
+  Tensor x(Shape{1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor y = global_avgpool2d(x);
+  EXPECT_FLOAT_EQ(y.at(0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(1), 25.0f);
+}
+
+TEST(BatchNorm, NormalizesChannels) {
+  Tensor x(Shape{2, 1, 1, 2}, {1, 2, 3, 4});
+  Tensor gamma(Shape{1}, 1.0f);
+  Tensor beta(Shape{1}, 0.0f);
+  BatchNormResult r = batchnorm2d(x, gamma, beta);
+  float mean = 0;
+  for (int i = 0; i < 4; ++i) mean += r.y.at(i);
+  EXPECT_NEAR(mean, 0.0f, 1e-5);
+  EXPECT_NEAR(r.mean.at(0), 2.5f, 1e-6);
+}
+
+}  // namespace
+}  // namespace rannc
