@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coarsening.dir/bench_ablation_coarsening.cpp.o"
+  "CMakeFiles/bench_ablation_coarsening.dir/bench_ablation_coarsening.cpp.o.d"
+  "bench_ablation_coarsening"
+  "bench_ablation_coarsening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coarsening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_bert.dir/bench_fig4_bert.cpp.o"
+  "CMakeFiles/bench_fig4_bert.dir/bench_fig4_bert.cpp.o.d"
+  "bench_fig4_bert"
+  "bench_fig4_bert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

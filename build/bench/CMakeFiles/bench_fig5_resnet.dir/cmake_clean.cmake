@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_resnet.dir/bench_fig5_resnet.cpp.o"
+  "CMakeFiles/bench_fig5_resnet.dir/bench_fig5_resnet.cpp.o.d"
+  "bench_fig5_resnet"
+  "bench_fig5_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_partition.dir/bert_partition.cpp.o"
+  "CMakeFiles/bert_partition.dir/bert_partition.cpp.o.d"
+  "bert_partition"
+  "bert_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

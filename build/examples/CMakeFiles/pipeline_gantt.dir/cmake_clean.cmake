@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_gantt.dir/pipeline_gantt.cpp.o"
+  "CMakeFiles/pipeline_gantt.dir/pipeline_gantt.cpp.o.d"
+  "pipeline_gantt"
+  "pipeline_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_partition.dir/resnet_partition.cpp.o"
+  "CMakeFiles/resnet_partition.dir/resnet_partition.cpp.o.d"
+  "resnet_partition"
+  "resnet_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

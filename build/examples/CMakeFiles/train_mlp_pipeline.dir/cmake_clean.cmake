@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_mlp_pipeline.dir/train_mlp_pipeline.cpp.o"
+  "CMakeFiles/train_mlp_pipeline.dir/train_mlp_pipeline.cpp.o.d"
+  "train_mlp_pipeline"
+  "train_mlp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_mlp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

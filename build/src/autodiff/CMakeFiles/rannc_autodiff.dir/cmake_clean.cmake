@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rannc_autodiff.dir/interpreter.cpp.o"
+  "CMakeFiles/rannc_autodiff.dir/interpreter.cpp.o.d"
+  "librannc_autodiff.a"
+  "librannc_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rannc_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/data_parallel.cpp" "src/baselines/CMakeFiles/rannc_baselines.dir/data_parallel.cpp.o" "gcc" "src/baselines/CMakeFiles/rannc_baselines.dir/data_parallel.cpp.o.d"
+  "/root/repo/src/baselines/feature_table.cpp" "src/baselines/CMakeFiles/rannc_baselines.dir/feature_table.cpp.o" "gcc" "src/baselines/CMakeFiles/rannc_baselines.dir/feature_table.cpp.o.d"
+  "/root/repo/src/baselines/gpipe.cpp" "src/baselines/CMakeFiles/rannc_baselines.dir/gpipe.cpp.o" "gcc" "src/baselines/CMakeFiles/rannc_baselines.dir/gpipe.cpp.o.d"
+  "/root/repo/src/baselines/layer_stages.cpp" "src/baselines/CMakeFiles/rannc_baselines.dir/layer_stages.cpp.o" "gcc" "src/baselines/CMakeFiles/rannc_baselines.dir/layer_stages.cpp.o.d"
+  "/root/repo/src/baselines/megatron.cpp" "src/baselines/CMakeFiles/rannc_baselines.dir/megatron.cpp.o" "gcc" "src/baselines/CMakeFiles/rannc_baselines.dir/megatron.cpp.o.d"
+  "/root/repo/src/baselines/pipedream.cpp" "src/baselines/CMakeFiles/rannc_baselines.dir/pipedream.cpp.o" "gcc" "src/baselines/CMakeFiles/rannc_baselines.dir/pipedream.cpp.o.d"
+  "/root/repo/src/baselines/staged_eval.cpp" "src/baselines/CMakeFiles/rannc_baselines.dir/staged_eval.cpp.o" "gcc" "src/baselines/CMakeFiles/rannc_baselines.dir/staged_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rannc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rannc_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/rannc_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rannc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/rannc_pipeline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rannc_baselines.dir/data_parallel.cpp.o"
+  "CMakeFiles/rannc_baselines.dir/data_parallel.cpp.o.d"
+  "CMakeFiles/rannc_baselines.dir/feature_table.cpp.o"
+  "CMakeFiles/rannc_baselines.dir/feature_table.cpp.o.d"
+  "CMakeFiles/rannc_baselines.dir/gpipe.cpp.o"
+  "CMakeFiles/rannc_baselines.dir/gpipe.cpp.o.d"
+  "CMakeFiles/rannc_baselines.dir/layer_stages.cpp.o"
+  "CMakeFiles/rannc_baselines.dir/layer_stages.cpp.o.d"
+  "CMakeFiles/rannc_baselines.dir/megatron.cpp.o"
+  "CMakeFiles/rannc_baselines.dir/megatron.cpp.o.d"
+  "CMakeFiles/rannc_baselines.dir/pipedream.cpp.o"
+  "CMakeFiles/rannc_baselines.dir/pipedream.cpp.o.d"
+  "CMakeFiles/rannc_baselines.dir/staged_eval.cpp.o"
+  "CMakeFiles/rannc_baselines.dir/staged_eval.cpp.o.d"
+  "librannc_baselines.a"
+  "librannc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rannc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

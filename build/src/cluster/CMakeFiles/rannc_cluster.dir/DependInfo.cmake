@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_spec.cpp" "src/cluster/CMakeFiles/rannc_cluster.dir/cluster_spec.cpp.o" "gcc" "src/cluster/CMakeFiles/rannc_cluster.dir/cluster_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiler/CMakeFiles/rannc_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rannc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

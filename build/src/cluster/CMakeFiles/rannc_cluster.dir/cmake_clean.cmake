@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rannc_cluster.dir/cluster_spec.cpp.o"
+  "CMakeFiles/rannc_cluster.dir/cluster_spec.cpp.o.d"
+  "librannc_cluster.a"
+  "librannc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rannc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

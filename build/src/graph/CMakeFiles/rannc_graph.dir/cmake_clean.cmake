@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rannc_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/rannc_graph.dir/subgraph.cpp.o.d"
+  "CMakeFiles/rannc_graph.dir/task_graph.cpp.o"
+  "CMakeFiles/rannc_graph.dir/task_graph.cpp.o.d"
+  "librannc_graph.a"
+  "librannc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rannc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bert.cpp" "src/models/CMakeFiles/rannc_models.dir/bert.cpp.o" "gcc" "src/models/CMakeFiles/rannc_models.dir/bert.cpp.o.d"
+  "/root/repo/src/models/gpt2.cpp" "src/models/CMakeFiles/rannc_models.dir/gpt2.cpp.o" "gcc" "src/models/CMakeFiles/rannc_models.dir/gpt2.cpp.o.d"
+  "/root/repo/src/models/mlp.cpp" "src/models/CMakeFiles/rannc_models.dir/mlp.cpp.o" "gcc" "src/models/CMakeFiles/rannc_models.dir/mlp.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/models/CMakeFiles/rannc_models.dir/resnet.cpp.o" "gcc" "src/models/CMakeFiles/rannc_models.dir/resnet.cpp.o.d"
+  "/root/repo/src/models/t5.cpp" "src/models/CMakeFiles/rannc_models.dir/t5.cpp.o" "gcc" "src/models/CMakeFiles/rannc_models.dir/t5.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rannc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rannc_models.dir/bert.cpp.o"
+  "CMakeFiles/rannc_models.dir/bert.cpp.o.d"
+  "CMakeFiles/rannc_models.dir/gpt2.cpp.o"
+  "CMakeFiles/rannc_models.dir/gpt2.cpp.o.d"
+  "CMakeFiles/rannc_models.dir/mlp.cpp.o"
+  "CMakeFiles/rannc_models.dir/mlp.cpp.o.d"
+  "CMakeFiles/rannc_models.dir/resnet.cpp.o"
+  "CMakeFiles/rannc_models.dir/resnet.cpp.o.d"
+  "CMakeFiles/rannc_models.dir/t5.cpp.o"
+  "CMakeFiles/rannc_models.dir/t5.cpp.o.d"
+  "librannc_models.a"
+  "librannc_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rannc_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

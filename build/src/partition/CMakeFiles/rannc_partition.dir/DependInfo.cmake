@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/atomic.cpp" "src/partition/CMakeFiles/rannc_partition.dir/atomic.cpp.o" "gcc" "src/partition/CMakeFiles/rannc_partition.dir/atomic.cpp.o.d"
+  "/root/repo/src/partition/auto_partitioner.cpp" "src/partition/CMakeFiles/rannc_partition.dir/auto_partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/rannc_partition.dir/auto_partitioner.cpp.o.d"
+  "/root/repo/src/partition/block.cpp" "src/partition/CMakeFiles/rannc_partition.dir/block.cpp.o" "gcc" "src/partition/CMakeFiles/rannc_partition.dir/block.cpp.o.d"
+  "/root/repo/src/partition/plan_io.cpp" "src/partition/CMakeFiles/rannc_partition.dir/plan_io.cpp.o" "gcc" "src/partition/CMakeFiles/rannc_partition.dir/plan_io.cpp.o.d"
+  "/root/repo/src/partition/stage_dp.cpp" "src/partition/CMakeFiles/rannc_partition.dir/stage_dp.cpp.o" "gcc" "src/partition/CMakeFiles/rannc_partition.dir/stage_dp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rannc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/rannc_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rannc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/rannc_pipeline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rannc_partition.dir/atomic.cpp.o"
+  "CMakeFiles/rannc_partition.dir/atomic.cpp.o.d"
+  "CMakeFiles/rannc_partition.dir/auto_partitioner.cpp.o"
+  "CMakeFiles/rannc_partition.dir/auto_partitioner.cpp.o.d"
+  "CMakeFiles/rannc_partition.dir/block.cpp.o"
+  "CMakeFiles/rannc_partition.dir/block.cpp.o.d"
+  "CMakeFiles/rannc_partition.dir/plan_io.cpp.o"
+  "CMakeFiles/rannc_partition.dir/plan_io.cpp.o.d"
+  "CMakeFiles/rannc_partition.dir/stage_dp.cpp.o"
+  "CMakeFiles/rannc_partition.dir/stage_dp.cpp.o.d"
+  "librannc_partition.a"
+  "librannc_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rannc_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

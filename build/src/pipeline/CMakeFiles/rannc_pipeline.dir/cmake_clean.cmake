@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rannc_pipeline.dir/schedule.cpp.o"
+  "CMakeFiles/rannc_pipeline.dir/schedule.cpp.o.d"
+  "librannc_pipeline.a"
+  "librannc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rannc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/graph_profiler.cpp" "src/profiler/CMakeFiles/rannc_profiler.dir/graph_profiler.cpp.o" "gcc" "src/profiler/CMakeFiles/rannc_profiler.dir/graph_profiler.cpp.o.d"
+  "/root/repo/src/profiler/memory.cpp" "src/profiler/CMakeFiles/rannc_profiler.dir/memory.cpp.o" "gcc" "src/profiler/CMakeFiles/rannc_profiler.dir/memory.cpp.o.d"
+  "/root/repo/src/profiler/op_cost.cpp" "src/profiler/CMakeFiles/rannc_profiler.dir/op_cost.cpp.o" "gcc" "src/profiler/CMakeFiles/rannc_profiler.dir/op_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rannc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rannc_profiler.dir/graph_profiler.cpp.o"
+  "CMakeFiles/rannc_profiler.dir/graph_profiler.cpp.o.d"
+  "CMakeFiles/rannc_profiler.dir/memory.cpp.o"
+  "CMakeFiles/rannc_profiler.dir/memory.cpp.o.d"
+  "CMakeFiles/rannc_profiler.dir/op_cost.cpp.o"
+  "CMakeFiles/rannc_profiler.dir/op_cost.cpp.o.d"
+  "librannc_profiler.a"
+  "librannc_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rannc_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

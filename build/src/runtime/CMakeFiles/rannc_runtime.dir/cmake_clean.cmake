@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rannc_runtime.dir/optimizer.cpp.o"
+  "CMakeFiles/rannc_runtime.dir/optimizer.cpp.o.d"
+  "CMakeFiles/rannc_runtime.dir/pipeline_runtime.cpp.o"
+  "CMakeFiles/rannc_runtime.dir/pipeline_runtime.cpp.o.d"
+  "CMakeFiles/rannc_runtime.dir/trainer.cpp.o"
+  "CMakeFiles/rannc_runtime.dir/trainer.cpp.o.d"
+  "librannc_runtime.a"
+  "librannc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rannc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rannc_tensor.dir/ops.cpp.o"
+  "CMakeFiles/rannc_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/rannc_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/rannc_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/rannc_tensor.dir/thread_pool.cpp.o"
+  "CMakeFiles/rannc_tensor.dir/thread_pool.cpp.o.d"
+  "librannc_tensor.a"
+  "librannc_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rannc_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomic.dir/test_atomic.cpp.o"
+  "CMakeFiles/test_atomic.dir/test_atomic.cpp.o.d"
+  "test_atomic"
+  "test_atomic.pdb"
+  "test_atomic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

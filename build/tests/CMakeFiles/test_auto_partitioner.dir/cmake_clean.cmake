@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auto_partitioner.dir/test_auto_partitioner.cpp.o"
+  "CMakeFiles/test_auto_partitioner.dir/test_auto_partitioner.cpp.o.d"
+  "test_auto_partitioner"
+  "test_auto_partitioner.pdb"
+  "test_auto_partitioner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auto_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/test_edge_cases.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/test_edge_cases.dir/test_edge_cases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/rannc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rannc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/rannc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rannc_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/rannc_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rannc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/rannc_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rannc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/rannc_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rannc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

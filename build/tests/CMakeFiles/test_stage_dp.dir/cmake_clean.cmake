@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stage_dp.dir/test_stage_dp.cpp.o"
+  "CMakeFiles/test_stage_dp.dir/test_stage_dp.cpp.o.d"
+  "test_stage_dp"
+  "test_stage_dp.pdb"
+  "test_stage_dp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stage_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_t5.dir/test_t5.cpp.o"
+  "CMakeFiles/test_t5.dir/test_t5.cpp.o.d"
+  "test_t5"
+  "test_t5.pdb"
+  "test_t5[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_t5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
