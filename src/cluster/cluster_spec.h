@@ -11,6 +11,11 @@
 
 namespace rannc {
 
+/// Which communication cost oracle estimate functions should use:
+/// the closed-form ring/p2p formulas below, or the discrete-event
+/// simulated fabric in `src/comm` (link contention, NIC sharing).
+enum class CommModel { Analytic, Fabric };
+
 struct ClusterSpec {
   int num_nodes = 4;
   int devices_per_node = 8;
@@ -19,6 +24,7 @@ struct ClusterSpec {
   double intra_lat = 5.0e-6;   ///< seconds
   double inter_bw = 12.5e9;    ///< InfiniBand 100 Gb/s = 12.5 GB/s
   double inter_lat = 15.0e-6;
+  CommModel comm_model = CommModel::Analytic;
 
   [[nodiscard]] int total_devices() const {
     return num_nodes * devices_per_node;

@@ -1,0 +1,250 @@
+#include "comm/fabric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rannc {
+namespace comm {
+
+namespace {
+/// Residual payload below this many bytes counts as delivered. Transfers
+/// carry >= 1 byte in practice, so this only absorbs float round-off from
+/// the fluid rate integration.
+constexpr double kByteEps = 1e-6;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Fabric::Fabric(const ClusterSpec& spec) : spec_(spec) {
+  if (spec_.num_nodes < 1 || spec_.devices_per_node < 1)
+    throw std::invalid_argument("Fabric: cluster has no devices");
+  const int R = spec_.total_devices();
+  const int N = spec_.num_nodes;
+  // Link layout: [0,R) per-device egress NVLink lanes, [R,2R) ingress
+  // lanes, [2R,2R+N) per-node egress NICs, [2R+N,2R+2N) ingress NICs.
+  links_.reserve(static_cast<std::size_t>(2 * R + 2 * N));
+  for (int r = 0; r < R; ++r)
+    links_.push_back({spec_.intra_bw, "nvlink-out:" + std::to_string(r)});
+  for (int r = 0; r < R; ++r)
+    links_.push_back({spec_.intra_bw, "nvlink-in:" + std::to_string(r)});
+  for (int n = 0; n < N; ++n)
+    links_.push_back({spec_.inter_bw, "nic-out:" + std::to_string(n)});
+  for (int n = 0; n < N; ++n)
+    links_.push_back({spec_.inter_bw, "nic-in:" + std::to_string(n)});
+  clock_.assign(static_cast<std::size_t>(R), 0.0);
+  sent_.assign(static_cast<std::size_t>(R), 0);
+  received_.assign(static_cast<std::size_t>(R), 0);
+}
+
+double Fabric::max_clock() const {
+  double m = 0;
+  for (double c : clock_) m = std::max(m, c);
+  return m;
+}
+
+void Fabric::reset() {
+  std::fill(clock_.begin(), clock_.end(), 0.0);
+  std::fill(sent_.begin(), sent_.end(), std::int64_t{0});
+  std::fill(received_.begin(), received_.end(), std::int64_t{0});
+}
+
+void Fabric::check_rank(Rank r) const {
+  if (r < 0 || r >= num_ranks())
+    throw std::out_of_range("Fabric: rank out of range");
+}
+
+int Fabric::path_of(Rank src, Rank dst, LinkId out[4]) const {
+  const int R = num_ranks();
+  int n = 0;
+  out[n++] = src;  // egress NVLink lane
+  if (node_of(src) != node_of(dst)) {
+    out[n++] = 2 * R + node_of(src);                    // egress NIC
+    out[n++] = 2 * R + spec_.num_nodes + node_of(dst);  // ingress NIC
+  }
+  out[n++] = R + dst;  // ingress NVLink lane
+  return n;
+}
+
+std::vector<double> Fabric::run_step(const std::vector<Transfer>& transfers) {
+  const std::size_t n = transfers.size();
+  std::vector<double> finish(n, 0.0);
+  if (n == 0) return finish;
+
+  struct St {
+    double activate = 0;   ///< virtual time bytes start flowing
+    double remaining = 0;  ///< bytes left
+    LinkId path[4] = {0, 0, 0, 0};
+    int npath = 0;
+    bool done = false;
+  };
+  std::vector<St> st(n);
+  std::size_t open = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Transfer& t = transfers[i];
+    check_rank(t.src);
+    check_rank(t.dst);
+    if (t.src == t.dst)
+      throw std::invalid_argument("Fabric: transfer to self");
+    St& s = st[i];
+    const bool same = node_of(t.src) == node_of(t.dst);
+    const double lat = same ? spec_.intra_lat : spec_.inter_lat;
+    s.activate = std::max(clock_[static_cast<std::size_t>(t.src)],
+                          clock_[static_cast<std::size_t>(t.dst)]) +
+                 lat;
+    s.remaining = std::max(0.0, t.bytes);
+    s.npath = path_of(t.src, t.dst, s.path);
+    if (s.remaining <= kByteEps) {  // latency-only message
+      s.done = true;
+      finish[i] = s.activate;
+    } else {
+      ++open;
+    }
+  }
+
+  double now = kInf;
+  for (const St& s : st)
+    if (!s.done) now = std::min(now, s.activate);
+
+  std::vector<int> active_on(links_.size(), 0);
+  std::vector<double> rate(n, 0.0);
+  // Each iteration either finishes >= 1 transfer or jumps to the next
+  // activation, so the loop is bounded by 2n events; the cap is a pure
+  // float-pathology backstop.
+  for (std::size_t iter = 0; open > 0 && iter < 2 * n + 64; ++iter) {
+    std::fill(active_on.begin(), active_on.end(), 0);
+    bool any_active = false;
+    double next_activation = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      const St& s = st[i];
+      if (s.done) continue;
+      if (s.activate <= now) {
+        any_active = true;
+        for (int k = 0; k < s.npath; ++k)
+          ++active_on[static_cast<std::size_t>(s.path[k])];
+      } else {
+        next_activation = std::min(next_activation, s.activate);
+      }
+    }
+    if (!any_active) {
+      now = next_activation;
+      continue;
+    }
+    double next = next_activation;
+    for (std::size_t i = 0; i < n; ++i) {
+      const St& s = st[i];
+      if (s.done || s.activate > now) continue;
+      double r = kInf;
+      for (int k = 0; k < s.npath; ++k) {
+        const std::size_t l = static_cast<std::size_t>(s.path[k]);
+        r = std::min(r, links_[l].bandwidth /
+                            static_cast<double>(active_on[l]));
+      }
+      rate[i] = r;
+      next = std::min(next, now + s.remaining / r);
+    }
+    const double dt = next - now;
+    for (std::size_t i = 0; i < n; ++i) {
+      St& s = st[i];
+      if (s.done || s.activate > now) continue;
+      s.remaining -= rate[i] * dt;
+      if (s.remaining <= kByteEps) {
+        s.done = true;
+        finish[i] = next;
+        --open;
+      }
+    }
+    now = next;
+  }
+  // Backstop: force-finish anything the float loop failed to close.
+  for (std::size_t i = 0; i < n; ++i)
+    if (!st[i].done) finish[i] = now;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Transfer& t = transfers[i];
+    auto& cs = clock_[static_cast<std::size_t>(t.src)];
+    auto& cd = clock_[static_cast<std::size_t>(t.dst)];
+    cs = std::max(cs, finish[i]);
+    cd = std::max(cd, finish[i]);
+    const auto nominal = static_cast<std::int64_t>(std::llround(t.bytes));
+    sent_[static_cast<std::size_t>(t.src)] += nominal;
+    received_[static_cast<std::size_t>(t.dst)] += nominal;
+  }
+  return finish;
+}
+
+double Fabric::finish_max(const std::vector<Rank>& ranks) const {
+  double m = 0;
+  for (Rank r : ranks) m = std::max(m, clock(r));
+  return m;
+}
+
+double Fabric::p2p(Rank src, Rank dst, std::int64_t bytes) {
+  return run_step({{src, dst, static_cast<double>(bytes)}})[0];
+}
+
+double Fabric::ring_phase(const std::vector<Rank>& ring, double chunk_bytes,
+                          int steps) {
+  const int r = static_cast<int>(ring.size());
+  std::vector<Transfer> ts(static_cast<std::size_t>(r));
+  for (int s = 0; s < steps; ++s) {
+    for (int i = 0; i < r; ++i) {
+      ts[static_cast<std::size_t>(i)] = {
+          ring[static_cast<std::size_t>(i)],
+          ring[static_cast<std::size_t>((i + 1) % r)], chunk_bytes};
+    }
+    run_step(ts);
+  }
+  return finish_max(ring);
+}
+
+double Fabric::ring_allreduce(const std::vector<Rank>& ring,
+                              std::int64_t bytes) {
+  const int r = static_cast<int>(ring.size());
+  if (r <= 1 || bytes <= 0) return finish_max(ring);
+  const double chunk = static_cast<double>(bytes) / static_cast<double>(r);
+  return ring_phase(ring, chunk, 2 * (r - 1));
+}
+
+double Fabric::reduce_scatter(const std::vector<Rank>& ring,
+                              std::int64_t bytes) {
+  const int r = static_cast<int>(ring.size());
+  if (r <= 1 || bytes <= 0) return finish_max(ring);
+  const double chunk = static_cast<double>(bytes) / static_cast<double>(r);
+  return ring_phase(ring, chunk, r - 1);
+}
+
+double Fabric::allgather(const std::vector<Rank>& ring, std::int64_t bytes) {
+  const int r = static_cast<int>(ring.size());
+  if (r <= 1 || bytes <= 0) return finish_max(ring);
+  const double chunk = static_cast<double>(bytes) / static_cast<double>(r);
+  return ring_phase(ring, chunk, r - 1);
+}
+
+double Fabric::broadcast(const std::vector<Rank>& ranks, Rank root,
+                         std::int64_t bytes) {
+  const int r = static_cast<int>(ranks.size());
+  if (r <= 1 || bytes <= 0) return finish_max(ranks);
+  // Binomial tree: in each round every rank that has the payload forwards
+  // it to one that does not; rounds = ceil(log2 r).
+  std::vector<Rank> order;
+  order.reserve(static_cast<std::size_t>(r));
+  order.push_back(root);
+  for (Rank x : ranks)
+    if (x != root) order.push_back(x);
+  int have = 1;
+  std::vector<Transfer> ts;
+  while (have < r) {
+    ts.clear();
+    for (int i = 0; i < have && have + i < r; ++i)
+      ts.push_back({order[static_cast<std::size_t>(i)],
+                    order[static_cast<std::size_t>(have + i)],
+                    static_cast<double>(bytes)});
+    run_step(ts);
+    have += static_cast<int>(ts.size());
+  }
+  return finish_max(ranks);
+}
+
+}  // namespace comm
+}  // namespace rannc

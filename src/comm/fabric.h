@@ -1,0 +1,113 @@
+// Discrete-event simulated communication fabric.
+//
+// Stands in for the NCCL/MPI transport of the original RaNNC middleware:
+// a virtual-time event engine with per-rank clocks and explicit `Link`
+// objects (one full-duplex NVLink lane pair per device, one shared
+// full-duplex InfiniBand NIC pair per node, built from `ClusterSpec`).
+// Concurrent transfers crossing the same link share its bandwidth, so the
+// fabric reproduces the contention effects the closed-form models in
+// `src/cluster/cluster_spec.cpp` ignore — NIC sharing between
+// node-spanning rings, serialization of simultaneous sends — which are
+// exactly what separates Megatron-LM's cross-node tensor-parallel
+// all-reduces from RaNNC's mostly intra-node stage boundaries (Table 1 /
+// Fig. 4 of the paper).
+//
+// Everything here runs in *virtual* time: no wall clocks, no host-thread
+// timing. Results are bit-exact deterministic regardless of host
+// scheduling, which the test suite verifies by racing simulations across
+// threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+
+namespace rannc {
+namespace comm {
+
+using Rank = int;
+using LinkId = int;
+
+/// One directed physical link. Full-duplex hardware is modelled as an
+/// egress/ingress pair so that a ring step (every rank sends while it
+/// receives) does not contend against itself.
+struct Link {
+  double bandwidth = 0;  ///< bytes/s
+  std::string name;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const ClusterSpec& spec);
+
+  [[nodiscard]] int num_ranks() const { return static_cast<int>(clock_.size()); }
+  [[nodiscard]] int num_links() const { return static_cast<int>(links_.size()); }
+  [[nodiscard]] const Link& link(LinkId l) const {
+    return links_[static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] int node_of(Rank r) const {
+    return r / spec_.devices_per_node;
+  }
+
+  /// Virtual clock of one rank: the time its last transfer completed.
+  [[nodiscard]] double clock(Rank r) const {
+    return clock_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] double max_clock() const;
+
+  /// Byte-conservation accounting (nominal payload bytes).
+  [[nodiscard]] std::int64_t bytes_sent(Rank r) const {
+    return sent_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] std::int64_t bytes_received(Rank r) const {
+    return received_[static_cast<std::size_t>(r)];
+  }
+
+  /// Rewinds all clocks and byte counters to zero.
+  void reset();
+
+  struct Transfer {
+    Rank src = 0;
+    Rank dst = 0;
+    double bytes = 0;  ///< payload; fractional chunks from collectives are ok
+  };
+
+  /// Runs one batch of concurrent transfers. Each transfer activates at
+  /// max(clock[src], clock[dst]) plus the link latency, then its bytes flow
+  /// at the bottleneck rate min over its path of bandwidth / (number of
+  /// transfers concurrently active on that link) — a fluid fair-share model.
+  /// On return the clocks of every participating rank have advanced to the
+  /// finish time of their transfer. Returns per-transfer finish times.
+  std::vector<double> run_step(const std::vector<Transfer>& transfers);
+
+  // -- collectives: step sequences over links, accruing virtual time ------
+  /// Single point-to-point send; returns its completion time.
+  double p2p(Rank src, Rank dst, std::int64_t bytes);
+  /// Ring all-reduce: 2*(r-1) steps of bytes/r chunks around `ring`.
+  double ring_allreduce(const std::vector<Rank>& ring, std::int64_t bytes);
+  /// First half of the ring all-reduce: (r-1) reduce-scatter steps.
+  double reduce_scatter(const std::vector<Rank>& ring, std::int64_t bytes);
+  /// Second half of the ring all-reduce: (r-1) allgather steps.
+  double allgather(const std::vector<Rank>& ring, std::int64_t bytes);
+  /// Binomial-tree broadcast of the full payload from `root`.
+  double broadcast(const std::vector<Rank>& ranks, Rank root,
+                   std::int64_t bytes);
+
+ private:
+  /// Writes the link path src -> dst into `out[4]`; returns its length.
+  int path_of(Rank src, Rank dst, LinkId out[4]) const;
+  double ring_phase(const std::vector<Rank>& ring, double chunk_bytes,
+                    int steps);
+  [[nodiscard]] double finish_max(const std::vector<Rank>& ranks) const;
+  void check_rank(Rank r) const;
+
+  ClusterSpec spec_;
+  std::vector<Link> links_;
+  std::vector<double> clock_;
+  std::vector<std::int64_t> sent_, received_;
+};
+
+}  // namespace comm
+}  // namespace rannc

@@ -1,0 +1,169 @@
+#include "comm/oracle.h"
+
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "comm/fabric.h"
+
+namespace rannc {
+
+namespace {
+
+class AnalyticCostOracle final : public FabricCostOracle {
+ public:
+  explicit AnalyticCostOracle(const ClusterSpec& c) : spec_(c) {}
+
+  double p2p(std::int64_t bytes, bool same_node) const override {
+    return p2p_time(spec_, bytes, same_node);
+  }
+  double allreduce(std::int64_t bytes, int ranks,
+                   bool spans_nodes) const override {
+    return allreduce_time(spec_, bytes, ranks, spans_nodes);
+  }
+  double broadcast(std::int64_t bytes, int ranks,
+                   bool spans_nodes) const override {
+    // Binomial tree: ceil(log2 r) rounds of the full payload.
+    if (ranks <= 1 || bytes <= 0) return 0.0;
+    const double bw = spans_nodes ? spec_.inter_bw : spec_.intra_bw;
+    const double lat = spans_nodes ? spec_.inter_lat : spec_.intra_lat;
+    int rounds = 0;
+    for (int have = 1; have < ranks; have *= 2) ++rounds;
+    return rounds * (lat + static_cast<double>(bytes) / bw);
+  }
+  const char* name() const override { return "analytic"; }
+
+ private:
+  ClusterSpec spec_;
+};
+
+class SimulatedFabricOracle final : public FabricCostOracle {
+ public:
+  explicit SimulatedFabricOracle(const ClusterSpec& c) : spec_(c) {}
+
+  double p2p(std::int64_t bytes, bool same_node) const override {
+    // Degenerate topologies cannot express the request; keep the closed
+    // form there so callers see a continuous model.
+    if (same_node && spec_.devices_per_node < 2)
+      return p2p_time(spec_, bytes, true);
+    if (!same_node && spec_.num_nodes < 2)
+      return p2p_time(spec_, bytes, false);
+    const Key key{0, bytes, same_node ? 1 : 0};
+    return memoized(key, [&] {
+      comm::Fabric f(spec_);
+      return f.p2p(0, same_node ? 1 : spec_.devices_per_node, bytes);
+    });
+  }
+
+  double allreduce(std::int64_t bytes, int ranks,
+                   bool spans_nodes) const override {
+    if (ranks <= 1 || bytes <= 0) return 0.0;
+    if (ranks > spec_.total_devices())
+      return allreduce_time(spec_, bytes, ranks, spans_nodes);
+    const Key key{1, bytes, ranks * 2 + (spans_nodes ? 1 : 0)};
+    return memoized(key, [&] {
+      comm::Fabric f(spec_);
+      return f.ring_allreduce(ring_for(ranks, spans_nodes), bytes);
+    });
+  }
+
+  double broadcast(std::int64_t bytes, int ranks,
+                   bool spans_nodes) const override {
+    if (ranks <= 1 || bytes <= 0) return 0.0;
+    if (ranks > spec_.total_devices())
+      return AnalyticCostOracle(spec_).broadcast(bytes, ranks, spans_nodes);
+    const Key key{2, bytes, ranks * 2 + (spans_nodes ? 1 : 0)};
+    return memoized(key, [&] {
+      comm::Fabric f(spec_);
+      const std::vector<int> ranks_v = ring_for(ranks, spans_nodes);
+      return f.broadcast(ranks_v, ranks_v.front(), bytes);
+    });
+  }
+
+  const char* name() const override { return "fabric"; }
+
+ private:
+  using Key = std::tuple<int, std::int64_t, int>;
+
+  /// Device ids for a `ranks`-member collective. A node-spanning group
+  /// places members round-robin across nodes (data-parallel replicas live
+  /// on different nodes), so co-located members share their node's NIC —
+  /// the contention the analytic model cannot see. A non-spanning group is
+  /// consecutive devices starting at rank 0.
+  std::vector<int> ring_for(int ranks, bool spans_nodes) const {
+    std::vector<int> ring(static_cast<std::size_t>(ranks));
+    if (spans_nodes && spec_.num_nodes > 1) {
+      const int nodes = std::min(spec_.num_nodes, ranks);
+      for (int i = 0; i < ranks; ++i)
+        ring[static_cast<std::size_t>(i)] =
+            (i % nodes) * spec_.devices_per_node + i / nodes;
+    } else {
+      std::iota(ring.begin(), ring.end(), 0);
+    }
+    return ring;
+  }
+
+  template <typename Fn>
+  double memoized(const Key& key, Fn&& compute) const {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+    }
+    const double t = compute();  // simulate outside the lock
+    std::lock_guard<std::mutex> lk(mu_);
+    return cache_.emplace(key, t).first->second;
+  }
+
+  ClusterSpec spec_;
+  mutable std::mutex mu_;
+  mutable std::map<Key, double> cache_;
+};
+
+using TopoKey = std::tuple<int, int, double, double, double, double>;
+
+TopoKey topo_key(const ClusterSpec& c) {
+  return {c.num_nodes, c.devices_per_node, c.intra_bw, c.intra_lat,
+          c.inter_bw, c.inter_lat};
+}
+
+}  // namespace
+
+std::shared_ptr<const FabricCostOracle> make_comm_oracle(
+    const ClusterSpec& c) {
+  if (c.comm_model == CommModel::Fabric) {
+    // Simulated oracles carry a per-topology memo cache; share them
+    // process-wide so repeated estimates (the stage-DP hot loop) hit it.
+    static std::mutex mu;
+    static std::map<TopoKey, std::shared_ptr<const FabricCostOracle>> cache;
+    std::lock_guard<std::mutex> lk(mu);
+    auto it = cache.find(topo_key(c));
+    if (it == cache.end())
+      it = cache.emplace(topo_key(c),
+                         std::make_shared<SimulatedFabricOracle>(c)).first;
+    return it->second;
+  }
+  return std::make_shared<AnalyticCostOracle>(c);
+}
+
+double comm_p2p_time(const ClusterSpec& c, std::int64_t bytes,
+                     bool same_node) {
+  if (c.comm_model == CommModel::Analytic)
+    return p2p_time(c, bytes, same_node);
+  return make_comm_oracle(c)->p2p(bytes, same_node);
+}
+
+double comm_allreduce_time(const ClusterSpec& c, std::int64_t bytes, int ranks,
+                           bool spans_nodes) {
+  if (c.comm_model == CommModel::Analytic)
+    return allreduce_time(c, bytes, ranks, spans_nodes);
+  return make_comm_oracle(c)->allreduce(bytes, ranks, spans_nodes);
+}
+
+double comm_partitioner_time(const ClusterSpec& c, std::int64_t bytes) {
+  return comm_p2p_time(c, bytes, /*same_node=*/true);
+}
+
+}  // namespace rannc

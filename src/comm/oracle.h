@@ -1,0 +1,48 @@
+// Communication cost oracles.
+//
+// `FabricCostOracle` is the seam between the partitioner/baseline cost
+// estimators and the transport model: the analytic implementation wraps
+// the closed-form formulas of `src/cluster/cluster_spec.cpp`, the
+// simulated implementation runs the discrete-event fabric (`fabric.h`).
+// Callers pick one through the `comm_model` flag on `ClusterSpec` via the
+// `comm_*_time` dispatch functions, which memoize fabric runs so the
+// stage-DP hot loop stays tractable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cluster/cluster_spec.h"
+
+namespace rannc {
+
+class FabricCostOracle {
+ public:
+  virtual ~FabricCostOracle() = default;
+  /// Point-to-point transfer time of `bytes` between two devices.
+  [[nodiscard]] virtual double p2p(std::int64_t bytes,
+                                   bool same_node) const = 0;
+  /// Ring all-reduce across `ranks` devices.
+  [[nodiscard]] virtual double allreduce(std::int64_t bytes, int ranks,
+                                         bool spans_nodes) const = 0;
+  /// Broadcast of `bytes` from one root to `ranks` devices.
+  [[nodiscard]] virtual double broadcast(std::int64_t bytes, int ranks,
+                                         bool spans_nodes) const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Returns the oracle selected by `c.comm_model`. Simulated oracles are
+/// cached per topology (and internally memoize per call signature), so
+/// this is cheap to call repeatedly; the returned object is thread-safe.
+std::shared_ptr<const FabricCostOracle> make_comm_oracle(const ClusterSpec& c);
+
+/// Drop-in replacements for the `src/cluster` closed-form functions that
+/// honour `c.comm_model`. With `CommModel::Analytic` they are identical to
+/// `p2p_time` / `allreduce_time` / `partitioner_comm_time`.
+double comm_p2p_time(const ClusterSpec& c, std::int64_t bytes, bool same_node);
+double comm_allreduce_time(const ClusterSpec& c, std::int64_t bytes, int ranks,
+                           bool spans_nodes);
+/// Partitioner estimate (paper footnote 3: intra-node bandwidth).
+double comm_partitioner_time(const ClusterSpec& c, std::int64_t bytes);
+
+}  // namespace rannc

@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "comm/oracle.h"
 #include "partition/atomic.h"
 
 namespace rannc {
@@ -173,8 +174,8 @@ RangeProfileFn make_profile_fn(const UnitSequence& seq,
     // h() includes the time to send outputs to the following stage
     // (Section III-C); the backward pass symmetrically returns input
     // gradients to the preceding stage, plus the checkpoint recompute.
-    p.t_f = tf_c + partitioner_comm_time(cluster, static_cast<std::int64_t>(out_bytes));
-    p.t_b = tb_c + partitioner_comm_time(cluster, static_cast<std::int64_t>(in_bytes));
+    p.t_f = tf_c + comm_partitioner_time(cluster, static_cast<std::int64_t>(out_bytes));
+    p.t_b = tb_c + comm_partitioner_time(cluster, static_cast<std::int64_t>(in_bytes));
     if (checkpointing && !summed_estimates) p.t_b += tf_c;
 
     ProfileResult pr;
@@ -218,7 +219,7 @@ double estimate_iteration(const UnitSequence& seq, const RangeProfileFn& fn,
         (prec == Precision::Mixed ? 0.5 : 1.0));
     const int ranks = devs * R;
     max_allreduce = std::max(
-        max_allreduce, allreduce_time(cluster, grad_bytes, ranks, R > 1));
+        max_allreduce, comm_allreduce_time(cluster, grad_bytes, ranks, R > 1));
     lo = hi;
   }
   const ScheduleResult sched = simulate_gpipe(st, MB);

@@ -1,12 +1,30 @@
 #include "runtime/pipeline_runtime.h"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "runtime/trainer.h"
 
 namespace rannc {
+
+namespace {
+
+/// Internal control-flow signal: a peer stage failed and closed the
+/// fabric endpoints; unwind this stage quietly.
+struct PipelineAborted {};
+
+std::int64_t tensor_map_bytes(const TensorMap& m) {
+  std::int64_t bytes = 0;
+  for (const auto& [v, t] : m)
+    bytes += t.numel() * static_cast<std::int64_t>(sizeof(float));
+  return bytes;
+}
+
+}  // namespace
 
 PipelineTrainer::PipelineTrainer(const TaskGraph& g,
                                  std::vector<std::vector<TaskId>> stage_tasks,
@@ -79,14 +97,26 @@ PipelineTrainer::PipelineTrainer(const TaskGraph& g,
       }
     }
   }
+  // Boundary traffic runs through fabric endpoints; stage s is pinned to
+  // device s, so the link class of an edge follows the node boundary of
+  // the cluster (when one is configured).
+  std::shared_ptr<const FabricCostOracle> oracle;
+  int dpn = 0;
+  if (options_.cluster) {
+    oracle = make_comm_oracle(*options_.cluster);
+    dpn = options_.cluster->devices_per_node;
+  }
   for (auto& [key, vals] : edge_values) {
     auto e = std::make_unique<Edge>();
     e->from = key.first;
     e->to = key.second;
     std::sort(vals.begin(), vals.end());
     e->values = std::move(vals);
-    e->fwd = std::make_unique<Channel<TensorMap>>(256);
-    e->bwd = std::make_unique<Channel<TensorMap>>(256);
+    const bool same_node = dpn <= 0 || (e->from / dpn == e->to / dpn);
+    e->fwd = std::make_unique<Endpoint>(256, oracle, same_node,
+                                        tensor_map_bytes);
+    e->bwd = std::make_unique<Endpoint>(256, oracle, same_node,
+                                        tensor_map_bytes);
     stages_[static_cast<std::size_t>(e->from)].out_edges.push_back(e.get());
     stages_[static_cast<std::size_t>(e->to)].in_edges.push_back(e.get());
     edges_.push_back(std::move(e));
@@ -97,11 +127,44 @@ PipelineTrainer::PipelineTrainer(const TaskGraph& g,
       .owns_loss = true;
 }
 
+void PipelineTrainer::abort_pipeline() {
+  for (auto& e : edges_) {
+    e->fwd->close();
+    e->bwd->close();
+  }
+}
+
+void PipelineTrainer::collect_comm_reports() {
+  for (Stage& st : stages_) {
+    st.report.comm_seconds = 0;
+    st.report.bytes_in = 0;
+    st.report.bytes_out = 0;
+  }
+  for (const auto& e : edges_) {
+    Stage& from = stages_[static_cast<std::size_t>(e->from)];
+    Stage& to = stages_[static_cast<std::size_t>(e->to)];
+    // fwd flows from->to (activations), bwd flows to->from (gradients).
+    from.report.comm_seconds += e->fwd->send_seconds() + e->bwd->recv_seconds();
+    from.report.bytes_out += e->fwd->sent_bytes();
+    from.report.bytes_in += e->bwd->recv_bytes();
+    to.report.comm_seconds += e->fwd->recv_seconds() + e->bwd->send_seconds();
+    to.report.bytes_in += e->fwd->recv_bytes();
+    to.report.bytes_out += e->bwd->sent_bytes();
+  }
+}
+
 void PipelineTrainer::run_stage(Stage& stage,
                                 const std::vector<TensorMap>& microbatches,
                                 double* loss_out) {
   const int MB = static_cast<int>(microbatches.size());
   const float seed_grad = 1.0f / static_cast<float>(MB);
+  using Clock = std::chrono::steady_clock;
+  const auto timed = [&stage](auto&& fn) {
+    const auto t0 = Clock::now();
+    fn();
+    stage.report.compute_seconds +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+  };
 
   struct Ctx {
     TensorMap values;
@@ -117,19 +180,20 @@ void PipelineTrainer::run_stage(Stage& stage,
     for (ValueId v : stage.input_values)
       values[v] = microbatches[static_cast<std::size_t>(j)].at(v);
     for (Edge* e : stage.in_edges) {
-      TensorMap m = e->fwd->recv();
-      for (auto& [v, t] : m) values[v] = std::move(t);
+      std::optional<TensorMap> m = e->fwd->recv();
+      if (!m) throw PipelineAborted{};
+      for (auto& [v, t] : *m) values[v] = std::move(t);
     }
     if (options_.recompute) {
       // Keep only what is needed to re-run the forward pass.
       ctx.boundary = values;
     }
     ForwardCache cache;
-    interp_.forward(stage.tasks, values, cache);
+    timed([&] { interp_.forward(stage.tasks, values, cache); });
     for (Edge* e : stage.out_edges) {
       TensorMap m;
       for (ValueId v : e->values) m.emplace(v, values.at(v));
-      e->fwd->send(std::move(m));
+      if (!e->fwd->send(std::move(m))) throw PipelineAborted{};
     }
     if (stage.owns_loss && loss_out)
       *loss_out += values.at(loss_value_).at(0);
@@ -149,16 +213,17 @@ void PipelineTrainer::run_stage(Stage& stage,
     if (stage.owns_loss)
       grads.emplace(loss_value_, Tensor::full(Shape{}, seed_grad));
     for (Edge* e : stage.out_edges) {
-      TensorMap gm = e->bwd->recv();
-      for (auto& [v, t] : gm) accumulate_grad(grads, v, std::move(t));
+      std::optional<TensorMap> gm = e->bwd->recv();
+      if (!gm) throw PipelineAborted{};
+      for (auto& [v, t] : *gm) accumulate_grad(grads, v, std::move(t));
     }
     if (options_.recompute) {
       ctx.values = std::move(ctx.boundary);
       ForwardCache cache;
-      interp_.forward(stage.tasks, ctx.values, cache);
+      timed([&] { interp_.forward(stage.tasks, ctx.values, cache); });
       ctx.cache = std::move(cache);
     }
-    interp_.backward(stage.tasks, ctx.values, ctx.cache, grads);
+    timed([&] { interp_.backward(stage.tasks, ctx.values, ctx.cache, grads); });
     for (Edge* e : stage.in_edges) {
       TensorMap gm;
       for (ValueId v : e->values) {
@@ -168,7 +233,7 @@ void PipelineTrainer::run_stage(Stage& stage,
         else  // value off the loss path: send explicit zeros for lockstep
           gm.emplace(v, Tensor::zeros(interp_.graph().value(v).shape));
       }
-      e->bwd->send(std::move(gm));
+      if (!e->bwd->send(std::move(gm))) throw PipelineAborted{};
     }
     TensorMap& pg = mb_grads[static_cast<std::size_t>(j)];
     for (auto& [v, t] : grads)
@@ -189,13 +254,28 @@ void PipelineTrainer::run_stage(Stage& stage,
 float PipelineTrainer::step(const std::vector<TensorMap>& microbatches) {
   if (microbatches.empty()) return 0;
   double loss_sum = 0;
+  std::exception_ptr error;
+  std::mutex error_mu;
   std::vector<std::thread> threads;
   threads.reserve(stages_.size());
   for (Stage& st : stages_)
-    threads.emplace_back([this, &st, &microbatches, &loss_sum] {
-      run_stage(st, microbatches, st.owns_loss ? &loss_sum : nullptr);
+    threads.emplace_back([this, &st, &microbatches, &loss_sum, &error,
+                          &error_mu] {
+      try {
+        run_stage(st, microbatches, st.owns_loss ? &loss_sum : nullptr);
+      } catch (const PipelineAborted&) {
+        // A peer already failed and closed the endpoints; nothing to record.
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(error_mu);
+          if (!error) error = std::current_exception();
+        }
+        abort_pipeline();
+      }
     });
   for (std::thread& t : threads) t.join();
+  collect_comm_reports();
+  if (error) std::rethrow_exception(error);
   return static_cast<float>(loss_sum / static_cast<double>(microbatches.size()));
 }
 

@@ -17,9 +17,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "autodiff/interpreter.h"
+#include "cluster/cluster_spec.h"
+#include "comm/endpoint.h"
 #include "runtime/channel.h"
 #include "runtime/optimizer.h"
 
@@ -31,6 +34,20 @@ struct PipelineOptions {
   /// Gradient checkpointing: stages keep only their cut inputs per
   /// microbatch and recompute the forward during backward.
   bool recompute = false;
+  /// When set, boundary traffic flows through fabric endpoints: every
+  /// message is costed by the cluster's communication oracle (analytic or
+  /// simulated fabric, per `cluster->comm_model`) and per-stage simulated
+  /// comm time is reported next to measured compute time. Stage `s` is
+  /// pinned to device `s` for link-class selection.
+  std::optional<ClusterSpec> cluster;
+};
+
+/// Cumulative per-stage execution report (across all `step` calls).
+struct StageReport {
+  double compute_seconds = 0;  ///< measured wall-clock in fwd/bwd kernels
+  double comm_seconds = 0;     ///< simulated fabric transfer time
+  std::int64_t bytes_in = 0;   ///< boundary payload received
+  std::int64_t bytes_out = 0;  ///< boundary payload sent
 };
 
 class PipelineTrainer {
@@ -41,7 +58,9 @@ class PipelineTrainer {
                   PipelineOptions options);
 
   /// One synchronous pipeline step over the given microbatches; returns the
-  /// mean loss.
+  /// mean loss. If any stage throws, the remaining stages are unblocked by
+  /// closing the fabric endpoints and the first exception is rethrown
+  /// (parameter state is then undefined).
   float step(const std::vector<TensorMap>& microbatches);
 
   [[nodiscard]] std::size_t num_stages() const { return stages_.size(); }
@@ -49,13 +68,19 @@ class PipelineTrainer {
   [[nodiscard]] const TensorMap& stage_params(std::size_t s) const {
     return stages_[s].params;
   }
+  /// Cumulative compute/comm report for stage `s`. Comm time is accrued
+  /// only when `PipelineOptions::cluster` is set.
+  [[nodiscard]] const StageReport& stage_report(std::size_t s) const {
+    return stages_[s].report;
+  }
 
  private:
+  using Endpoint = comm::FabricEndpoint<TensorMap>;
   struct Edge {
     int from = 0, to = 0;
     std::vector<ValueId> values;
-    std::unique_ptr<Channel<TensorMap>> fwd;
-    std::unique_ptr<Channel<TensorMap>> bwd;
+    std::unique_ptr<Endpoint> fwd;
+    std::unique_ptr<Endpoint> bwd;
   };
   struct Stage {
     std::vector<TaskId> tasks;
@@ -64,12 +89,15 @@ class PipelineTrainer {
     std::vector<Edge*> in_edges, out_edges;
     Optimizer opt;
     bool owns_loss = false;
+    StageReport report;
 
     explicit Stage(OptimizerConfig cfg) : opt(cfg) {}
   };
 
   void run_stage(Stage& stage, const std::vector<TensorMap>& microbatches,
                  double* loss_out);
+  void abort_pipeline();
+  void collect_comm_reports();
 
   Interpreter interp_;
   PipelineOptions options_;

@@ -1,0 +1,302 @@
+// Tests for the discrete-event communication fabric (`src/comm`): parity
+// with the closed-form cost models when uncontended, contention
+// monotonicity on shared links, byte conservation, bit-exact determinism
+// under host-thread races, and the closable-channel / fabric-endpoint
+// plumbing the pipeline runtime rides on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+#include "comm/endpoint.h"
+#include "comm/fabric.h"
+#include "comm/oracle.h"
+#include "runtime/channel.h"
+
+namespace rannc {
+namespace {
+
+using comm::Fabric;
+
+TEST(Fabric, TopologyFromClusterSpec) {
+  ClusterSpec c;  // 4 nodes x 8 devices
+  Fabric f(c);
+  EXPECT_EQ(f.num_ranks(), 32);
+  // 2 NVLink lanes per device + 2 NIC directions per node.
+  EXPECT_EQ(f.num_links(), 2 * 32 + 2 * 4);
+  EXPECT_EQ(f.node_of(0), 0);
+  EXPECT_EQ(f.node_of(7), 0);
+  EXPECT_EQ(f.node_of(8), 1);
+  EXPECT_EQ(f.node_of(31), 3);
+}
+
+TEST(Fabric, UncontendedP2pMatchesClosedForm) {
+  ClusterSpec c;
+  const std::int64_t bytes = 16 << 20;
+  {
+    Fabric f(c);
+    EXPECT_DOUBLE_EQ(f.p2p(0, 1, bytes), p2p_time(c, bytes, true));
+  }
+  {
+    // Cross-node: the NIC is the bottleneck (inter_bw < intra_bw).
+    Fabric f(c);
+    EXPECT_DOUBLE_EQ(f.p2p(0, 8, bytes), p2p_time(c, bytes, false));
+  }
+  {
+    // Zero-byte message costs exactly one latency.
+    Fabric f(c);
+    EXPECT_DOUBLE_EQ(f.p2p(0, 1, 0), c.intra_lat);
+  }
+}
+
+TEST(Fabric, UncontendedRingAllreduceWithin5PercentOfClosedForm) {
+  ClusterSpec c;
+  const std::int64_t bytes = 64 << 20;
+  {
+    // All ranks on one node: every ring step uses distinct full-duplex
+    // NVLink lanes, so the fabric should land on the analytic model.
+    Fabric f(c);
+    const double sim = f.ring_allreduce({0, 1, 2, 3, 4, 5, 6, 7}, bytes);
+    const double ana = allreduce_time(c, bytes, 8, false);
+    EXPECT_NEAR(sim, ana, 0.05 * ana);
+  }
+  {
+    // One rank per node: each NIC carries one transfer per step, so the
+    // inter-node closed form applies.
+    Fabric f(c);
+    const double sim = f.ring_allreduce({0, 8, 16, 24}, bytes);
+    const double ana = allreduce_time(c, bytes, 4, true);
+    EXPECT_NEAR(sim, ana, 0.05 * ana);
+  }
+}
+
+TEST(Fabric, ReduceScatterPlusAllgatherEqualsAllreduce) {
+  ClusterSpec c;
+  const std::int64_t bytes = 8 << 20;
+  const std::vector<int> ring{0, 1, 2, 3, 4, 5};
+  Fabric whole(c);
+  const double ar = whole.ring_allreduce(ring, bytes);
+  Fabric halves(c);
+  halves.reduce_scatter(ring, bytes);
+  const double total = halves.allgather(ring, bytes);
+  EXPECT_DOUBLE_EQ(total, ar);
+}
+
+TEST(Fabric, BroadcastBinomialTreeUncontended) {
+  ClusterSpec c;
+  const std::int64_t bytes = 4 << 20;
+  Fabric f(c);
+  // 8 ranks on one node -> 3 rounds, each one latency + payload.
+  const double t = f.broadcast({0, 1, 2, 3, 4, 5, 6, 7}, 0, bytes);
+  const double round = c.intra_lat + static_cast<double>(bytes) / c.intra_bw;
+  EXPECT_NEAR(t, 3 * round, 1e-9);
+}
+
+TEST(Fabric, NicContentionIsMonotone) {
+  ClusterSpec c;
+  const double bytes = 32e6;
+  Fabric alone(c);
+  const double t_alone = alone.run_step({{0, 8, bytes}})[0];
+  // Two concurrent cross-node transfers out of node 0 share its egress
+  // NIC: each must take at least as long as either alone (here ~2x).
+  Fabric both(c);
+  const auto t = both.run_step({{0, 8, bytes}, {1, 16, bytes}});
+  EXPECT_GE(t[0], t_alone);
+  EXPECT_GE(t[1], t_alone);
+  EXPECT_GT(t[0], 1.5 * t_alone);
+}
+
+TEST(Fabric, NvlinkLaneContentionIsMonotone) {
+  ClusterSpec c;
+  const double bytes = 8e6;
+  Fabric alone(c);
+  const double t_alone = alone.run_step({{0, 1, bytes}})[0];
+  // Two sends out of the same device share its egress lane.
+  Fabric both(c);
+  const auto t = both.run_step({{0, 1, bytes}, {0, 2, bytes}});
+  EXPECT_GE(t[0], t_alone);
+  EXPECT_GE(t[1], t_alone);
+}
+
+TEST(Fabric, P2pConservesBytes) {
+  ClusterSpec c;
+  Fabric f(c);
+  f.p2p(0, 5, 1000);
+  f.p2p(5, 0, 500);
+  f.p2p(2, 5, 250);
+  EXPECT_EQ(f.bytes_sent(0), 1000);
+  EXPECT_EQ(f.bytes_sent(5), 500);
+  EXPECT_EQ(f.bytes_sent(2), 250);
+  EXPECT_EQ(f.bytes_received(5), 1250);
+  EXPECT_EQ(f.bytes_received(0), 500);
+  std::int64_t sent = 0, received = 0;
+  for (int r = 0; r < f.num_ranks(); ++r) {
+    sent += f.bytes_sent(r);
+    received += f.bytes_received(r);
+  }
+  EXPECT_EQ(sent, received);
+}
+
+TEST(Fabric, RejectsInvalidTransfers) {
+  ClusterSpec c;
+  Fabric f(c);
+  EXPECT_THROW(f.p2p(0, 0, 100), std::invalid_argument);
+  EXPECT_THROW(f.p2p(0, 99, 100), std::out_of_range);
+  EXPECT_THROW(f.p2p(-1, 0, 100), std::out_of_range);
+}
+
+/// A mixed workload whose result signature covers collectives, contended
+/// steps and per-rank clocks.
+std::vector<double> workload_signature() {
+  ClusterSpec c;
+  Fabric f(c);
+  std::vector<double> sig;
+  sig.push_back(f.ring_allreduce({0, 1, 2, 3, 4, 5, 6, 7}, 123457));
+  for (double x : f.run_step(
+           {{0, 8, 1e6}, {1, 16, 2e6}, {2, 8, 3.5e5}, {9, 1, 7e5}}))
+    sig.push_back(x);
+  sig.push_back(f.broadcast({0, 3, 9, 17, 25}, 9, 1 << 20));
+  sig.push_back(f.reduce_scatter({0, 1, 2, 3}, 999983));
+  sig.push_back(f.allgather({4, 5, 6, 7}, 999983));
+  for (int r = 0; r < f.num_ranks(); ++r) sig.push_back(f.clock(r));
+  return sig;
+}
+
+TEST(Fabric, BitExactDeterminismAcrossThreadInterleavings) {
+  const std::vector<double> expected = workload_signature();
+  // Race many simulations (plus the shared fabric-oracle memo cache)
+  // across host threads: virtual time must not observe host scheduling.
+  ClusterSpec fc;
+  fc.comm_model = CommModel::Fabric;
+  const double oracle_expected = comm_allreduce_time(fc, 1 << 22, 16, true);
+  std::vector<std::vector<double>> got(8);
+  std::vector<double> oracle_got(8);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i)
+    threads.emplace_back([&, i] {
+      for (int rep = 0; rep < 5; ++rep) {
+        got[static_cast<std::size_t>(i)] = workload_signature();
+        oracle_got[static_cast<std::size_t>(i)] =
+            comm_allreduce_time(fc, 1 << 22, 16, true);
+      }
+    });
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)].size(), expected.size());
+    for (std::size_t k = 0; k < expected.size(); ++k)
+      EXPECT_EQ(got[static_cast<std::size_t>(i)][k], expected[k])
+          << "thread " << i << " slot " << k;
+    EXPECT_EQ(oracle_got[static_cast<std::size_t>(i)], oracle_expected);
+  }
+}
+
+// ---- oracle dispatch -------------------------------------------------------
+
+TEST(Oracle, AnalyticFlagMatchesClosedForms) {
+  ClusterSpec c;  // comm_model defaults to Analytic
+  EXPECT_DOUBLE_EQ(comm_p2p_time(c, 1 << 20, true), p2p_time(c, 1 << 20, true));
+  EXPECT_DOUBLE_EQ(comm_allreduce_time(c, 1 << 20, 8, true),
+                   allreduce_time(c, 1 << 20, 8, true));
+  EXPECT_DOUBLE_EQ(comm_partitioner_time(c, 1 << 20),
+                   partitioner_comm_time(c, 1 << 20));
+  EXPECT_STREQ(make_comm_oracle(c)->name(), "analytic");
+}
+
+TEST(Oracle, FabricOracleUncontendedParity) {
+  ClusterSpec c;
+  c.comm_model = CommModel::Fabric;
+  EXPECT_STREQ(make_comm_oracle(c)->name(), "fabric");
+  const std::int64_t bytes = 64 << 20;
+  // 8 consecutive ranks = one node = uncontended ring.
+  const double sim = comm_allreduce_time(c, bytes, 8, false);
+  const double ana = allreduce_time(c, bytes, 8, false);
+  EXPECT_NEAR(sim, ana, 0.05 * ana);
+  EXPECT_DOUBLE_EQ(comm_p2p_time(c, bytes, true), p2p_time(c, bytes, true));
+  EXPECT_DOUBLE_EQ(comm_p2p_time(c, bytes, false), p2p_time(c, bytes, false));
+}
+
+TEST(Oracle, FabricPenalizesSharedNicOnSpanningAllreduce) {
+  ClusterSpec c;
+  c.comm_model = CommModel::Fabric;
+  const std::int64_t bytes = 64 << 20;
+  // 32 ranks round-robin over 4 nodes: 8 ring transfers share each NIC
+  // per step, which the closed form cannot see.
+  const double sim = comm_allreduce_time(c, bytes, 32, true);
+  const double ana = allreduce_time(c, bytes, 32, true);
+  EXPECT_GT(sim, ana);
+  // More co-located ranks per node -> more NIC sharing -> slower than a
+  // one-rank-per-node ring of the same span.
+  const double spread = comm_allreduce_time(c, bytes, 4, true);
+  EXPECT_GT(sim, spread);
+}
+
+TEST(Oracle, FabricBroadcastPositiveAndMonotoneInSize) {
+  ClusterSpec c;
+  c.comm_model = CommModel::Fabric;
+  auto oracle = make_comm_oracle(c);
+  const double small = oracle->broadcast(1 << 16, 8, false);
+  const double large = oracle->broadcast(1 << 24, 8, false);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+  EXPECT_DOUBLE_EQ(oracle->broadcast(1 << 20, 1, false), 0.0);
+}
+
+// ---- closable channel + fabric endpoint ------------------------------------
+
+TEST(Channel, CloseUnblocksReceiverWithNullopt) {
+  Channel<int> ch(4);
+  std::optional<int> got = 0;
+  std::thread receiver([&] { got = ch.recv(); });
+  ch.close();
+  receiver.join();
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(Channel, CloseUnblocksFullSender) {
+  Channel<int> ch(1);
+  ASSERT_TRUE(ch.send(1));
+  bool sent = true;
+  std::thread sender([&] { sent = ch.send(2); });  // blocks: channel full
+  ch.close();
+  sender.join();
+  EXPECT_FALSE(sent);
+  EXPECT_FALSE(ch.send(3));  // closed channels reject immediately
+}
+
+TEST(Channel, DrainsQueuedItemsAfterClose) {
+  Channel<int> ch(4);
+  ASSERT_TRUE(ch.send(1));
+  ASSERT_TRUE(ch.send(2));
+  ch.close();
+  EXPECT_EQ(ch.recv(), 1);
+  EXPECT_EQ(ch.recv(), 2);
+  EXPECT_EQ(ch.recv(), std::nullopt);
+}
+
+TEST(FabricEndpoint, AccruesSimulatedTimeAndBytes) {
+  ClusterSpec c;
+  auto bytes_of = [](const std::vector<float>& v) {
+    return static_cast<std::int64_t>(v.size() * sizeof(float));
+  };
+  comm::FabricEndpoint<std::vector<float>> ep(4, make_comm_oracle(c),
+                                              /*same_node=*/true, bytes_of);
+  ASSERT_TRUE(ep.send(std::vector<float>(1024)));
+  ASSERT_TRUE(ep.recv().has_value());
+  EXPECT_EQ(ep.sent_bytes(), 4096);
+  EXPECT_EQ(ep.recv_bytes(), 4096);
+  EXPECT_DOUBLE_EQ(ep.send_seconds(), p2p_time(c, 4096, true));
+  EXPECT_DOUBLE_EQ(ep.recv_seconds(), p2p_time(c, 4096, true));
+}
+
+TEST(FabricEndpoint, NullOracleIsPlainChannel) {
+  comm::FabricEndpoint<int> ep(4, nullptr, true, nullptr);
+  ASSERT_TRUE(ep.send(7));
+  EXPECT_EQ(ep.recv(), 7);
+  EXPECT_EQ(ep.sent_bytes(), 0);
+  EXPECT_DOUBLE_EQ(ep.send_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace rannc

@@ -165,6 +165,49 @@ TEST(PipelineTrainer, RejectsIncompleteCover) {
                std::invalid_argument);
 }
 
+TEST(PipelineTrainer, StageFailureUnblocksPeersAndRethrows) {
+  // A stage that throws (here: stage 0, on a microbatch missing its graph
+  // inputs) must not leave downstream stages blocked in recv() forever:
+  // the fabric endpoints are closed and the first exception is rethrown.
+  BuiltModel m = build_mlp(test_mlp());
+  PipelineTrainer pipeline(m.graph, chunk_stages(m.graph, 3),
+                           PipelineOptions{});
+  std::vector<TensorMap> bad(2);  // no input values at all
+  EXPECT_THROW(pipeline.step(bad), std::out_of_range);
+}
+
+TEST(PipelineTrainer, ReportsSimulatedCommAndMeasuredComputeTime) {
+  BuiltModel m = build_mlp(test_mlp());
+  OptimizerConfig oc;
+  oc.lr = 0.05f;
+  PipelineOptions plain;
+  plain.opt = oc;
+  plain.seed = 7;
+  PipelineOptions fabric = plain;
+  fabric.cluster = ClusterSpec{};  // stage s pinned to device s
+  fabric.cluster->comm_model = CommModel::Fabric;
+
+  PipelineTrainer a(m.graph, chunk_stages(m.graph, 3), plain);
+  PipelineTrainer b(m.graph, chunk_stages(m.graph, 3), fabric);
+  const auto mbs = make_microbatches(m.graph, 2, 99);
+  // The fabric only accounts for traffic; it must not change the numbers.
+  EXPECT_FLOAT_EQ(a.step(mbs), b.step(mbs));
+
+  std::int64_t total_in = 0, total_out = 0;
+  for (std::size_t s = 0; s < b.num_stages(); ++s) {
+    const StageReport& r = b.stage_report(s);
+    EXPECT_GT(r.compute_seconds, 0.0) << "stage " << s;
+    // Every stage of a 3-stage chain touches at least one boundary.
+    EXPECT_GT(r.comm_seconds, 0.0) << "stage " << s;
+    total_in += r.bytes_in;
+    total_out += r.bytes_out;
+    // Without a cluster configured, no comm is accrued.
+    EXPECT_DOUBLE_EQ(a.stage_report(s).comm_seconds, 0.0);
+  }
+  EXPECT_GT(total_out, 0);
+  EXPECT_EQ(total_in, total_out);  // byte conservation across the pipeline
+}
+
 TEST(PipelineTrainer, RecomputeMatchesStored) {
   // Gradient checkpointing must not change the numbers, only the memory.
   BuiltModel m = build_mlp(test_mlp());
