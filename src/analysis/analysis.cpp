@@ -1,0 +1,15 @@
+#include "analysis/analysis.h"
+
+namespace rannc {
+
+std::vector<Diagnostic> lint_graph(const TaskGraph& g) {
+  std::vector<Diagnostic> ds = verify_graph(g);
+  if (has_errors(ds)) return ds;
+  std::vector<Diagnostic> shapes = infer_shapes(g);
+  ds.insert(ds.end(), shapes.begin(), shapes.end());
+  std::vector<Diagnostic> dead = report_dead_tasks(g);
+  ds.insert(ds.end(), dead.begin(), dead.end());
+  return ds;
+}
+
+}  // namespace rannc

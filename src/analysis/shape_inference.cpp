@@ -1,0 +1,306 @@
+#include "analysis/shape_inference.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rannc {
+
+namespace {
+
+InferredOutput fail(const std::string& why) {
+  InferredOutput r;
+  r.error = why;
+  return r;
+}
+
+InferredOutput accept(Shape s, DType dt) {
+  InferredOutput r;
+  r.ok = true;
+  r.shape = std::move(s);
+  r.dtype = dt;
+  return r;
+}
+
+std::string shape_list(const std::vector<Shape>& ss) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ss.size(); ++i) {
+    if (i) os << " x ";
+    os << ss[i].str();
+  }
+  return os.str();
+}
+
+/// NumPy-style trailing-dimension broadcast; false if incompatible.
+bool broadcast(const Shape& a, const Shape& b, Shape& out) {
+  const std::size_t ra = a.rank(), rb = b.rank();
+  const std::size_t r = std::max(ra, rb);
+  out.dims.assign(r, 1);
+  for (std::size_t i = 0; i < r; ++i) {
+    const std::int64_t da = i < ra ? a.dims[ra - 1 - i] : 1;
+    const std::int64_t db = i < rb ? b.dims[rb - 1 - i] : 1;
+    if (da != db && da != 1 && db != 1) return false;
+    out.dims[r - 1 - i] = std::max(da, db);
+  }
+  return true;
+}
+
+InferredOutput infer_matmul(const std::vector<Shape>& in, DType dt) {
+  if (in.size() != 2) return fail("matmul expects 2 inputs");
+  const Shape& l = in[0];
+  const Shape& r = in[1];
+  if (l.rank() < 2 || r.rank() < 2)
+    return fail("matmul operands must have rank >= 2, got " + shape_list(in));
+  if (r.rank() == 2) {
+    // [.., m, k] x [k, n] — optionally batched lhs.
+    if (l.dims.back() != r.dims[0])
+      return fail("matmul inner dimensions disagree: " + shape_list(in));
+    Shape out = l;
+    out.dims.back() = r.dims[1];
+    return accept(std::move(out), dt);
+  }
+  if (l.rank() == 3 && r.rank() == 3) {
+    // Batched both sides: [b, m, k] x [b, k, n].
+    if (l.dims[0] != r.dims[0])
+      return fail("batched matmul batch dims disagree: " + shape_list(in));
+    if (l.dims[2] != r.dims[1])
+      return fail("batched matmul inner dimensions disagree: " +
+                  shape_list(in));
+    return accept(Shape{l.dims[0], l.dims[1], r.dims[2]}, dt);
+  }
+  return fail("unsupported matmul operand ranks: " + shape_list(in));
+}
+
+InferredOutput infer_transpose(const Shape& in, const OpAttrs& attrs,
+                               DType dt) {
+  const std::size_t r = in.rank();
+  std::vector<std::int64_t> perm;
+  for (std::size_t i = 0;; ++i) {
+    const std::int64_t p = attrs.geti("perm" + std::to_string(i), -1);
+    if (p < 0) break;
+    perm.push_back(p);
+  }
+  if (perm.empty())  // ONNX default: reverse the dimensions
+    for (std::size_t i = 0; i < r; ++i)
+      perm.push_back(static_cast<std::int64_t>(r - 1 - i));
+  if (perm.size() != r)
+    return fail("transpose perm has " + std::to_string(perm.size()) +
+                " entries for rank-" + std::to_string(r) + " input");
+  std::vector<char> seen(r, 0);
+  for (std::int64_t p : perm) {
+    if (p < 0 || static_cast<std::size_t>(p) >= r ||
+        seen[static_cast<std::size_t>(p)])
+      return fail("transpose perm is not a permutation of 0.." +
+                  std::to_string(r - 1));
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+  Shape out;
+  out.dims.reserve(r);
+  for (std::int64_t p : perm)
+    out.dims.push_back(in.dims[static_cast<std::size_t>(p)]);
+  return accept(std::move(out), dt);
+}
+
+InferredOutput infer_pool2d(const Shape& x, std::int64_t k, std::int64_t s,
+                            std::int64_t p, DType dt, const char* what) {
+  if (x.rank() != 4)
+    return fail(std::string(what) + " expects NCHW input, got " + x.str());
+  if (k < 1 || s < 1 || p < 0)
+    return fail(std::string(what) + " has invalid kernel/stride/pad attrs");
+  const std::int64_t oh = (x.dims[2] + 2 * p - k) / s + 1;
+  const std::int64_t ow = (x.dims[3] + 2 * p - k) / s + 1;
+  if (oh < 1 || ow < 1)
+    return fail(std::string(what) + " kernel larger than padded input");
+  return accept(Shape{x.dims[0], x.dims[1], oh, ow}, dt);
+}
+
+}  // namespace
+
+InferredOutput infer_output(OpKind kind, const std::vector<Shape>& in,
+                            const std::vector<DType>& in_dtypes,
+                            const OpAttrs& attrs, const Shape& recorded) {
+  const DType dt0 = in_dtypes.empty() ? DType::F32 : in_dtypes[0];
+  const auto want = [&](std::size_t n) { return in.size() == n; };
+  switch (kind) {
+    case OpKind::MatMul:
+      return infer_matmul(in, dt0);
+
+    case OpKind::Transpose:
+      if (!want(1)) return fail("transpose expects 1 input");
+      return infer_transpose(in[0], attrs, dt0);
+
+    case OpKind::Reshape: {
+      if (!want(1)) return fail("reshape expects 1 input");
+      if (in[0].numel() != recorded.numel())
+        return fail("reshape changes element count: " + in[0].str() + " -> " +
+                    recorded.str());
+      return accept(recorded, dt0);
+    }
+
+    case OpKind::Add:
+    case OpKind::Mul: {
+      if (!want(2)) return fail("binary elementwise op expects 2 inputs");
+      Shape out;
+      if (!broadcast(in[0], in[1], out))
+        return fail("operands do not broadcast: " + shape_list(in));
+      return accept(std::move(out), dt0);
+    }
+
+    case OpKind::Scale:
+    case OpKind::Gelu:
+    case OpKind::Relu:
+    case OpKind::Tanh:
+    case OpKind::Dropout:
+    case OpKind::Identity:
+      if (!want(1)) return fail("unary elementwise op expects 1 input");
+      return accept(in[0], dt0);
+
+    case OpKind::Softmax:
+      if (!want(1)) return fail("softmax expects 1 input");
+      if (in[0].rank() < 1)
+        return fail("softmax needs a last dimension, got a scalar");
+      return accept(in[0], dt0);
+
+    case OpKind::LayerNorm: {
+      if (!want(3)) return fail("layernorm expects inputs x, gamma, beta");
+      if (in[0].rank() < 1)
+        return fail("layernorm needs a last dimension, got a scalar");
+      const Shape ch{in[0].dims.back()};
+      if (in[1] != ch || in[2] != ch)
+        return fail("layernorm gamma/beta must be " + ch.str() + ", got " +
+                    shape_list(in));
+      return accept(in[0], dt0);
+    }
+
+    case OpKind::Embedding: {
+      if (!want(2)) return fail("embedding expects inputs ids, table");
+      if (in[1].rank() != 2)
+        return fail("embedding table must be [vocab, dim], got " +
+                    in[1].str());
+      Shape out = in[0];
+      out.dims.push_back(in[1].dims[1]);
+      return accept(std::move(out), in_dtypes[1]);
+    }
+
+    case OpKind::CrossEntropy: {
+      if (!want(2)) return fail("cross_entropy expects inputs logits, targets");
+      if (in[0].rank() != 2)
+        return fail("cross_entropy logits must be [N, C], got " + in[0].str());
+      if (in[1].rank() != 1 || in[1].dims[0] != in[0].dims[0])
+        return fail("cross_entropy targets must be [" +
+                    std::to_string(in[0].dims[0]) + "], got " + in[1].str());
+      return accept(Shape{}, DType::F32);  // scalar loss
+    }
+
+    case OpKind::Conv2d: {
+      if (!want(2)) return fail("conv2d expects inputs x, weight");
+      const Shape& x = in[0];
+      const Shape& w = in[1];
+      if (x.rank() != 4 || w.rank() != 4)
+        return fail("conv2d expects NCHW x and OIHW weight, got " +
+                    shape_list(in));
+      if (x.dims[1] != w.dims[1])
+        return fail("conv2d channel mismatch: x has " +
+                    std::to_string(x.dims[1]) + ", weight expects " +
+                    std::to_string(w.dims[1]));
+      const std::int64_t s = attrs.geti("stride", 1);
+      const std::int64_t p = attrs.geti("pad", 0);
+      if (s < 1 || p < 0) return fail("conv2d has invalid stride/pad attrs");
+      const std::int64_t oh = (x.dims[2] + 2 * p - w.dims[2]) / s + 1;
+      const std::int64_t ow = (x.dims[3] + 2 * p - w.dims[3]) / s + 1;
+      if (oh < 1 || ow < 1)
+        return fail("conv2d kernel larger than padded input");
+      return accept(Shape{x.dims[0], w.dims[0], oh, ow}, dt0);
+    }
+
+    case OpKind::BatchNorm2d: {
+      if (!want(3)) return fail("batchnorm2d expects inputs x, gamma, beta");
+      const Shape& x = in[0];
+      if (x.rank() != 4)
+        return fail("batchnorm2d expects NCHW input, got " + x.str());
+      const Shape ch{x.dims[1]};
+      if (in[1] != ch || in[2] != ch)
+        return fail("batchnorm2d gamma/beta must be " + ch.str() + ", got " +
+                    shape_list(in));
+      return accept(x, dt0);
+    }
+
+    case OpKind::MaxPool2d:
+      if (!want(1)) return fail("maxpool2d expects 1 input");
+      return infer_pool2d(in[0], attrs.geti("kernel", 1),
+                          attrs.geti("stride", attrs.geti("kernel", 1)),
+                          attrs.geti("pad", 0), dt0, "maxpool2d");
+
+    case OpKind::GlobalAvgPool2d:
+      if (!want(1)) return fail("global_avgpool2d expects 1 input");
+      if (in[0].rank() != 4)
+        return fail("global_avgpool2d expects NCHW input, got " +
+                    in[0].str());
+      return accept(Shape{in[0].dims[0], in[0].dims[1], 1, 1}, dt0);
+
+    case OpKind::Flatten: {
+      if (!want(1)) return fail("flatten expects 1 input");
+      if (in[0].rank() < 1) return fail("flatten expects rank >= 1");
+      std::int64_t rest = 1;
+      for (std::size_t i = 1; i < in[0].rank(); ++i) rest *= in[0].dims[i];
+      return accept(Shape{in[0].dims[0], rest}, dt0);
+    }
+
+    case OpKind::Concat: {
+      if (in.empty()) return fail("concat expects at least 1 input");
+      const auto axis = static_cast<std::size_t>(attrs.geti("axis", 0));
+      Shape out = in[0];
+      if (axis >= out.rank())
+        return fail("concat axis " + std::to_string(axis) +
+                    " out of range for rank " + std::to_string(out.rank()));
+      for (std::size_t i = 1; i < in.size(); ++i) {
+        if (in[i].rank() != out.rank())
+          return fail("concat rank mismatch: " + shape_list(in));
+        for (std::size_t d = 0; d < out.rank(); ++d)
+          if (d != axis && in[i].dims[d] != out.dims[d])
+            return fail("concat non-axis dims disagree: " + shape_list(in));
+        out.dims[axis] += in[i].dims[axis];
+      }
+      return accept(std::move(out), dt0);
+    }
+  }
+  return fail("unknown op kind");
+}
+
+std::vector<Diagnostic> infer_shapes(const TaskGraph& g) {
+  std::vector<Diagnostic> out;
+  std::vector<Shape> in_shapes;
+  std::vector<DType> in_dtypes;
+  for (const Task& t : g.tasks()) {
+    in_shapes.clear();
+    in_dtypes.clear();
+    for (ValueId in : t.inputs) {
+      in_shapes.push_back(g.value(in).shape);
+      in_dtypes.push_back(g.value(in).dtype);
+    }
+    const Value& rec = g.value(t.output);
+    const InferredOutput inf =
+        infer_output(t.kind, in_shapes, in_dtypes, t.attrs, rec.shape);
+    if (!inf.ok) {
+      out.push_back({Severity::Error, DiagCode::MalformedOperand, t.id,
+                     t.output,
+                     std::string(op_name(t.kind)) + " '" + t.name +
+                         "': " + inf.error});
+      continue;
+    }
+    if (inf.shape != rec.shape)
+      out.push_back({Severity::Error, DiagCode::ShapeMismatch, t.id, t.output,
+                     std::string(op_name(t.kind)) + " '" + t.name +
+                         "': builder recorded " + rec.shape.str() +
+                         " but inputs imply " + inf.shape.str()});
+    if (inf.dtype != rec.dtype)
+      out.push_back({Severity::Error, DiagCode::DTypeMismatch, t.id, t.output,
+                     std::string(op_name(t.kind)) + " '" + t.name +
+                         "': builder recorded " +
+                         std::string(dtype_name(rec.dtype)) +
+                         " but inputs imply " +
+                         std::string(dtype_name(inf.dtype))});
+  }
+  return out;
+}
+
+}  // namespace rannc

@@ -1,0 +1,45 @@
+// Independent shape/dtype re-inference over the task-graph IR.
+//
+// The model builders in src/models hand-write every output shape and the
+// profiler's roofline model consumes them on faith — a wrong shape silently
+// skews FLOP counts, activation bytes and therefore the whole partition.
+// This pass re-derives each task's output from its *inputs and attributes
+// alone* (the same inference a framework's tracer performs) and diffs the
+// result against what the builder recorded, so builder bugs surface as
+// ShapeMismatch/DTypeMismatch diagnostics instead of garbage plans.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "graph/op.h"
+#include "graph/task_graph.h"
+
+namespace rannc {
+
+/// Outcome of re-deriving one task's output metadata.
+struct InferredOutput {
+  bool ok = false;      ///< false: operands/attrs are incompatible with the op
+  Shape shape;
+  DType dtype = DType::F32;
+  std::string error;    ///< non-empty when !ok
+};
+
+/// Re-derives the output of one operator application. `in_shapes`/`in_dtypes`
+/// are the operand metadata in input order. `recorded` is the builder's
+/// output shape; only Reshape consults it (the target shape is the op's
+/// parameter, mirroring how a traced reshape carries its target) — it is
+/// still validated (element count must be preserved).
+///
+/// Covers the complete OpKind inventory; an op missing here is a bug.
+InferredOutput infer_output(OpKind kind, const std::vector<Shape>& in_shapes,
+                            const std::vector<DType>& in_dtypes,
+                            const OpAttrs& attrs, const Shape& recorded);
+
+/// Runs infer_output over every task of a structurally-valid graph and
+/// reports every disagreement with the builder-recorded shapes/dtypes.
+/// Call verify_graph first: this pass assumes ids and links are sane.
+std::vector<Diagnostic> infer_shapes(const TaskGraph& g);
+
+}  // namespace rannc

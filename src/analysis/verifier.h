@@ -1,0 +1,32 @@
+// Structural verifier over TaskGraph (the IR well-formedness contract).
+//
+// The partitioner's three phases assume the graph invariants that the
+// builder API establishes by construction: dense topological task/value
+// ids, consistent producer/consumer back-edges, def-before-use, acyclicity,
+// no dangling or multiply-produced values, and outputs reachable from the
+// model inputs. Graphs can also arrive from places the builder does not
+// protect (deserialized plans, test corruption, future importers), so the
+// verifier re-checks everything from first principles and never trusts an
+// index before bounds-checking it.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "graph/task_graph.h"
+
+namespace rannc {
+
+/// Runs every structural check and returns all findings (empty = well
+/// formed). Checks are staged: when id/range sanity fails, the dependent
+/// link/order/reachability checks are skipped (they would index garbage),
+/// so a corrupted graph yields its root-cause diagnostic rather than a
+/// cascade.
+std::vector<Diagnostic> verify_graph(const TaskGraph& g);
+
+/// Convenience for call sites that want the seed behaviour: throws
+/// std::logic_error with all rendered diagnostics when verify_graph (plus
+/// shape re-inference, see analysis/shape_inference.h) reports any error.
+void verify_or_throw(const TaskGraph& g);
+
+}  // namespace rannc

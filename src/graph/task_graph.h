@@ -69,6 +69,13 @@ class TaskGraph {
   [[nodiscard]] std::span<const Value> values() const { return values_; }
   [[nodiscard]] const Task& task(TaskId t) const { return tasks_.at(static_cast<std::size_t>(t)); }
   [[nodiscard]] const Value& value(ValueId v) const { return values_.at(static_cast<std::size_t>(v)); }
+
+  /// Mutable node access for graph surgery and for the negative-path tests
+  /// of src/analysis (corruption injection). Mutation can break every
+  /// builder invariant — run analysis::verify_graph afterwards.
+  [[nodiscard]] Task& task_mut(TaskId t) { return tasks_.at(static_cast<std::size_t>(t)); }
+  [[nodiscard]] Value& value_mut(ValueId v) { return values_.at(static_cast<std::size_t>(v)); }
+
   [[nodiscard]] std::size_t num_tasks() const { return tasks_.size(); }
   [[nodiscard]] std::size_t num_values() const { return values_.size(); }
 

@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "analysis/verifier.h"
 #include "comm/oracle.h"
 #include "partition/atomic.h"
 
@@ -238,6 +239,12 @@ PartitionResult auto_partition(const TaskGraph& model,
                                const PartitionConfig& cfg) {
   const auto t0 = std::chrono::steady_clock::now();
   PartitionResult res;
+
+  // Static-analysis gate (src/analysis): a malformed graph or a builder
+  // shape bug silently skews the roofline profile, block balance and stage
+  // DP, so reject it before any partitioning work. O(V+E) — negligible
+  // next to the search itself.
+  verify_or_throw(model);
 
   // Phase 1: atomic-level partitioning.
   auto ap = std::make_shared<AtomicPartition>(atomic_partition(model));

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/dataflow.h"
 #include "graph/subgraph.h"
 
 namespace rannc {
@@ -45,13 +46,11 @@ std::vector<PlanViolation> validate_plan(const PartitionResult& plan,
       fail("task " + std::to_string(t) + " not assigned to any stage");
   if (!out.empty()) return out;  // structural errors invalidate the rest
 
-  // Convexity and forward flow.
-  TaskAdjacency adj(g);
+  // Convexity and forward flow, through the shared static-analysis queries
+  // (src/analysis/dataflow.h) rather than a private traversal.
+  const ReachabilityIndex reach(g);
   for (std::size_t s = 0; s < plan.stages.size(); ++s) {
-    std::vector<char> member(g.num_tasks(), 0);
-    for (TaskId t : plan.stages[s].tasks)
-      member[static_cast<std::size_t>(t)] = 1;
-    if (!is_convex(adj, member))
+    if (!reach.convex(plan.stages[s].tasks))
       fail("stage " + std::to_string(s) + " is not convex");
   }
   for (const Value& v : g.values()) {
@@ -60,6 +59,33 @@ std::vector<PlanViolation> validate_plan(const PartitionResult& plan,
       if (owner[static_cast<std::size_t>(v.producer)] >
           owner[static_cast<std::size_t>(c)])
         fail("value " + v.name + " flows backwards between stages");
+  }
+
+  // Every cross-stage cut value must exist in the graph and actually be
+  // available when its consuming stage runs: an activation entering stage s
+  // must be produced by a strictly earlier stage (graph inputs are fed by
+  // the runtime; parameters are resident on the owning device).
+  for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+    const CutValues cut = cut_values(g, plan.stages[s].tasks);
+    for (ValueId vid : cut.inputs) {
+      if (vid < 0 || static_cast<std::size_t>(vid) >= g.num_values()) {
+        fail("stage " + std::to_string(s) + " cut references value " +
+             std::to_string(vid) + " which does not exist in the graph");
+        continue;
+      }
+      const Value& v = g.value(vid);
+      if (v.kind != ValueKind::Intermediate) continue;
+      if (v.producer == kNoTask ||
+          static_cast<std::size_t>(v.producer) >= g.num_tasks()) {
+        fail("stage " + std::to_string(s) + " cut value '" + v.name +
+             "' has no producer in the graph");
+        continue;
+      }
+      if (owner[static_cast<std::size_t>(v.producer)] >=
+          static_cast<int>(s))
+        fail("stage " + std::to_string(s) + " consumes cut value '" + v.name +
+             "' which no earlier stage produces");
+    }
   }
 
   // Memory and device accounting.

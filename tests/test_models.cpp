@@ -2,10 +2,12 @@
 // forms, layer-span coverage, and architecture metadata.
 #include <gtest/gtest.h>
 
+#include "analysis/analysis.h"
 #include "models/bert.h"
 #include "models/gpt2.h"
 #include "models/mlp.h"
 #include "models/resnet.h"
+#include "models/t5.h"
 
 namespace rannc {
 namespace {
@@ -181,6 +183,46 @@ TEST_P(ModelValidation, AllBuildersProduceValidGraphs) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModels, ModelValidation, ::testing::Range(0, 4));
+
+// Regression gate for builder shape/attr bugs: the independent shape
+// re-inference of src/analysis must agree with every recorded shape, at two
+// sizes per architecture (attention transposes, resnet downsample arithmetic
+// and broadcast adds all change with the geometry).
+TEST(ModelValidation, AllBuildersLintCleanAtTwoSizes) {
+  std::vector<BuiltModel> models;
+  for (std::int64_t scale : {1LL, 2LL}) {
+    BertConfig bert;
+    bert.hidden = 128 * scale;
+    bert.layers = 2 * scale;
+    bert.seq_len = 32 * scale;
+    bert.vocab = 512;
+    models.push_back(build_bert(bert));
+    Gpt2Config gpt2;
+    gpt2.hidden = 128 * scale;
+    gpt2.layers = 2 * scale;
+    gpt2.seq_len = 32 * scale;
+    gpt2.vocab = 512;
+    models.push_back(build_gpt2(gpt2));
+    T5Config t5;
+    t5.hidden = 64 * scale;
+    t5.layers = 2 * scale;
+    t5.seq_len = 16 * scale;
+    t5.vocab = 256;
+    models.push_back(build_t5(t5));
+    ResNetConfig resnet;
+    resnet.depth = scale == 1 ? 50 : 101;
+    resnet.image_size = 64;
+    models.push_back(build_resnet(resnet));
+    MlpConfig mlp;
+    mlp.input_dim = 64 * scale;
+    mlp.hidden_dims.assign(static_cast<std::size_t>(2 * scale), 128 * scale);
+    models.push_back(build_mlp(mlp));
+  }
+  for (const BuiltModel& m : models) {
+    const auto ds = lint_graph(m.graph);
+    EXPECT_TRUE(ds.empty()) << m.graph.name() << ":\n" << render(ds);
+  }
+}
 
 }  // namespace
 }  // namespace rannc

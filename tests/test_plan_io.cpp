@@ -1,6 +1,9 @@
 // Tests for plan validation and JSON round-tripping.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "graph/subgraph.h"
 #include "models/bert.h"
 #include "models/mlp.h"
 #include "partition/auto_partitioner.h"
@@ -60,6 +63,33 @@ TEST(ValidatePlan, DetectsNonConvexStage) {
   last.tasks.pop_back();
   std::sort(plan.stages.front().tasks.begin(), plan.stages.front().tasks.end());
   EXPECT_FALSE(validate_plan(plan, cfg).empty());
+}
+
+TEST(ValidatePlan, DetectsCutValueWithoutProducer) {
+  PartitionConfig cfg;
+  PartitionResult plan = small_plan(cfg);
+  ASSERT_TRUE(plan.feasible);
+  if (plan.stages.size() < 2) GTEST_SKIP();
+  // Sever the producer link of an activation entering stage 1 in a private
+  // copy of the graph: the cut-value existence check must notice that no
+  // earlier stage can supply it.
+  auto g = std::make_shared<TaskGraph>(*plan.graph);
+  const CutValues cut = cut_values(*g, plan.stages[1].tasks);
+  ValueId victim = -1;
+  for (ValueId v : cut.inputs)
+    if (g->value(v).kind == ValueKind::Intermediate) {
+      victim = v;
+      break;
+    }
+  ASSERT_NE(victim, -1);
+  g->value_mut(victim).producer = kNoTask;
+  plan.graph = g;
+  const auto viol = validate_plan(plan, cfg);
+  ASSERT_FALSE(viol.empty());
+  bool found = false;
+  for (const PlanViolation& v : viol)
+    found |= v.what.find("has no producer") != std::string::npos;
+  EXPECT_TRUE(found) << viol.front().what;
 }
 
 TEST(ValidatePlan, DetectsMemoryOverrun) {

@@ -10,6 +10,7 @@
 
 #include <random>
 
+#include "analysis/analysis.h"
 #include "graph/subgraph.h"
 #include "partition/atomic.h"
 #include "partition/auto_partitioner.h"
@@ -212,6 +213,98 @@ TEST_P(Fuzz, AutoPartitionProducesValidPlans) {
     for (TaskId t : s.tasks) ++covered[static_cast<std::size_t>(t)];
   }
   for (int c : covered) EXPECT_EQ(c, 1);
+}
+
+TEST_P(Fuzz, RandomGraphsPassTheVerifier) {
+  // Builder-produced graphs must be clean under the full lint, structurally
+  // AND shape-wise, whatever the random topology. The atomic clone-rebuild
+  // must preserve that.
+  TaskGraph g = random_graph(GetParam());
+  const auto ds = lint_graph(g);
+  EXPECT_FALSE(has_errors(ds)) << render(ds);
+  AtomicPartition ap = atomic_partition(g);
+  const auto ds2 = lint_graph(ap.graph);
+  EXPECT_FALSE(has_errors(ds2)) << render(ds2);
+}
+
+/// Each corruption applied to a random well-formed graph must yield exactly
+/// the diagnostic the verifier documents for it — negative-path coverage for
+/// every structural check, on arbitrary topologies.
+TEST_P(Fuzz, CorruptedGraphsYieldTheExpectedDiagnostic) {
+  const std::uint32_t seed = GetParam();
+  struct Corruption {
+    DiagCode expected;
+    void (*apply)(TaskGraph&);
+  };
+  const Corruption catalog[] = {
+      {DiagCode::TaskIdNotDense,
+       [](TaskGraph& g) { g.task_mut(1).id = 0; }},
+      {DiagCode::ValueIdNotDense,
+       [](TaskGraph& g) { g.value_mut(2).id = 0; }},
+      {DiagCode::InputIdOutOfRange,
+       [](TaskGraph& g) {
+         g.task_mut(0).inputs[0] = static_cast<ValueId>(g.num_values());
+       }},
+      {DiagCode::OutputIdOutOfRange,
+       [](TaskGraph& g) { g.task_mut(0).output = -2; }},
+      {DiagCode::ProducerLinkBroken,
+       [](TaskGraph& g) {
+         g.value_mut(g.task(0).output).producer = g.task(1).id;
+       }},
+      {DiagCode::DanglingProducer,
+       [](TaskGraph& g) {
+         g.value_mut(g.task(0).output).producer =
+             static_cast<TaskId>(g.num_tasks());
+       }},
+      {DiagCode::OrphanIntermediate,
+       [](TaskGraph& g) { g.value_mut(g.task(0).output).producer = kNoTask; }},
+      {DiagCode::MultiplyProducedValue,
+       [](TaskGraph& g) { g.task_mut(1).output = g.task(0).output; }},
+      {DiagCode::UseBeforeDef,
+       [](TaskGraph& g) {
+         const ValueId late = g.task(static_cast<TaskId>(g.num_tasks()) - 1).output;
+         g.task_mut(0).inputs[0] = late;
+       }},
+      {DiagCode::ConsumerLinkBroken,
+       [](TaskGraph& g) {
+         // Claim a consumer that does not actually read the value.
+         const ValueId v = g.task(static_cast<TaskId>(g.num_tasks()) - 1).output;
+         g.value_mut(v).consumers.push_back(0);
+       }},
+      {DiagCode::MissingConsumerBackEdge,
+       [](TaskGraph& g) { g.value_mut(g.task(0).inputs[0]).consumers.clear(); }},
+      {DiagCode::NoMarkedOutput,
+       [](TaskGraph& g) {
+         for (const Value& v : g.values())
+           if (v.is_output) g.value_mut(v.id).is_output = false;
+       }},
+      {DiagCode::GraphCycle,
+       [](TaskGraph& g) {
+         // Feed the last task's output back into one of its own producers,
+         // with mirrored links, closing a two-task cycle that only the
+         // order/cycle checks can catch.
+         const Task& last = g.task(static_cast<TaskId>(g.num_tasks()) - 1);
+         const TaskId p = g.value(last.inputs[0]).producer;
+         g.task_mut(p).inputs.push_back(last.output);
+         g.value_mut(last.output).consumers.push_back(p);
+       }},
+      {DiagCode::ShapeMismatch,
+       [](TaskGraph& g) {
+         g.value_mut(g.task(0).output).shape = Shape{3, 5, 7};
+       }},
+      {DiagCode::DTypeMismatch,
+       [](TaskGraph& g) { g.value_mut(g.task(0).output).dtype = DType::I64; }},
+  };
+  for (const Corruption& c : catalog) {
+    TaskGraph g = random_graph(seed);
+    ASSERT_GE(g.num_tasks(), 2u);
+    c.apply(g);
+    const auto ds = lint_graph(g);
+    EXPECT_TRUE(has_code(ds, c.expected))
+        << "seed " << seed << ": corruption expected to yield "
+        << diag_code_name(c.expected) << " but produced:\n"
+        << render(ds);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range(1u, 21u));

@@ -1,0 +1,291 @@
+// rannc-lint — static analysis CLI over the built-in model builders and
+// partition plans.
+//
+//   rannc-lint --model bert --layers 4 --hidden 256
+//       builds the graph and runs the full analysis suite (structural
+//       verifier, shape/dtype re-inference, dead-task detection), printing
+//       every diagnostic plus a dataflow summary (liveness-based peak
+//       activation bytes, cross-checked against the profiler's total).
+//
+//   rannc-lint --model bert --layers 4 --plan plan.json
+//       additionally validates a plan JSON against the model's graph. By
+//       default the graph is atomic-rebuilt (constant-chain cloning), which
+//       is the graph auto_partition's task ids refer to; --raw-graph
+//       validates against the builder graph instead.
+//
+// Exit codes: 0 = clean, 1 = diagnostics with errors or plan violations,
+// 2 = usage error.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "models/bert.h"
+#include "models/gpt2.h"
+#include "models/mlp.h"
+#include "models/resnet.h"
+#include "models/t5.h"
+#include "partition/atomic.h"
+#include "partition/plan_io.h"
+#include "profiler/graph_profiler.h"
+
+namespace {
+
+using namespace rannc;
+
+struct Options {
+  std::string model;
+  std::int64_t layers = 0, hidden = 0, seq = 0, vocab = 0, heads = 0;
+  std::int64_t depth = 0, width = 0, image = 0, classes = 0;
+  std::int64_t batch = 0, input_dim = 0;
+  int nodes = 0, devices_per_node = 0;
+  std::int64_t batch_size = 0;
+  std::string plan_file;
+  std::string dot_file;
+  bool raw_graph = false;
+  bool liveness = false;
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "Usage: " << argv0
+      << " --model <mlp|bert|gpt2|t5|resnet> [options]\n"
+         "Model options (0/unset = the builder's default):\n"
+         "  --layers N --hidden N --seq N --vocab N --heads N   transformers\n"
+         "  --depth N --width N --image N --classes N           resnet\n"
+         "  --batch N --input-dim N                             mlp\n"
+         "Actions:\n"
+         "  --plan FILE    validate a plan JSON against the model graph\n"
+         "  --raw-graph    validate the plan against the builder graph\n"
+         "                 (default: atomic-rebuilt graph, matching\n"
+         "                 auto_partition task ids)\n"
+         "  --nodes N --devices-per-node N --batch-size N\n"
+         "                 cluster/batch for plan validation\n"
+         "  --liveness     print per-layer liveness & memory summary\n"
+         "  --dot FILE     write a Graphviz rendering of the graph\n"
+         "  --quiet        print diagnostics only\n";
+  return 2;
+}
+
+BuiltModel build(const Options& o) {
+  if (o.model == "mlp") {
+    MlpConfig c;
+    if (o.input_dim) c.input_dim = o.input_dim;
+    if (o.batch) c.batch = o.batch;
+    if (o.classes) c.num_classes = o.classes;
+    if (o.hidden) c.hidden_dims.assign(o.layers ? o.layers : 2, o.hidden);
+    return build_mlp(c);
+  }
+  if (o.model == "bert") {
+    BertConfig c;
+    if (o.hidden) c.hidden = o.hidden;
+    if (o.layers) c.layers = o.layers;
+    if (o.seq) c.seq_len = o.seq;
+    if (o.vocab) c.vocab = o.vocab;
+    if (o.heads) c.heads = o.heads;
+    return build_bert(c);
+  }
+  if (o.model == "gpt2") {
+    Gpt2Config c;
+    if (o.hidden) c.hidden = o.hidden;
+    if (o.layers) c.layers = o.layers;
+    if (o.seq) c.seq_len = o.seq;
+    if (o.vocab) c.vocab = o.vocab;
+    if (o.heads) c.heads = o.heads;
+    return build_gpt2(c);
+  }
+  if (o.model == "t5") {
+    T5Config c;
+    if (o.hidden) c.hidden = o.hidden;
+    if (o.layers) c.layers = o.layers;
+    if (o.seq) c.seq_len = o.seq;
+    if (o.vocab) c.vocab = o.vocab;
+    if (o.heads) c.heads = o.heads;
+    return build_t5(c);
+  }
+  if (o.model == "resnet") {
+    ResNetConfig c;
+    if (o.depth) c.depth = static_cast<int>(o.depth);
+    if (o.width) c.width_factor = o.width;
+    if (o.image) c.image_size = o.image;
+    if (o.classes) c.num_classes = o.classes;
+    return build_resnet(c);
+  }
+  throw std::invalid_argument("unknown model '" + o.model + "'");
+}
+
+std::string human_bytes(std::int64_t b) {
+  std::ostringstream os;
+  if (b >= (1LL << 30))
+    os << static_cast<double>(b) / static_cast<double>(1LL << 30) << " GiB";
+  else if (b >= (1LL << 20))
+    os << static_cast<double>(b) / static_cast<double>(1LL << 20) << " MiB";
+  else
+    os << b << " B";
+  return os.str();
+}
+
+int run(const Options& o) {
+  const BuiltModel m = build(o);
+  const TaskGraph& g = m.graph;
+
+  if (!o.quiet)
+    std::cout << "model " << o.model << ": " << g.num_tasks() << " tasks, "
+              << g.num_values() << " values, " << g.num_params()
+              << " parameters\n";
+
+  const std::vector<Diagnostic> ds = lint_graph(g);
+  if (!ds.empty()) std::cout << render(ds);
+  bool bad = has_errors(ds);
+
+  if (!has_errors(ds) && !o.quiet) {
+    // Dataflow summary: the liveness-based static activation bound must
+    // never exceed the profiler's whole-graph activation total (which sums
+    // every task output); report both so drifts are visible.
+    const std::int64_t peak = peak_activation_bytes(g);
+    GraphProfiler prof(g, DeviceSpec{});
+    std::vector<TaskId> all = g.topo_order();
+    const ProfileResult& p = prof.profile(all, 1);
+    std::cout << "peak live activations (static bound): " << human_bytes(peak)
+              << "  /  profiler activation total: " << human_bytes(p.act_bytes)
+              << '\n';
+    if (peak > p.act_bytes)
+      std::cout << "warning: static bound exceeds profiler total "
+                   "(cost-model drift)\n";
+  }
+
+  if (o.liveness && !has_errors(ds)) {
+    const auto live = liveness_intervals(g);
+    const auto dead = dead_tasks(g);
+    std::int64_t dead_count = 0;
+    for (char d : dead) dead_count += d;
+    std::cout << "liveness: " << live.size() << " values, " << dead_count
+              << " dead tasks\n";
+    for (const Value& v : g.values())
+      if (v.kind == ValueKind::Intermediate)
+        std::cout << "  v" << v.id << " '" << v.name << "' ["
+                  << live[static_cast<std::size_t>(v.id)].start << ", "
+                  << live[static_cast<std::size_t>(v.id)].end << "] "
+                  << human_bytes(v.bytes()) << '\n';
+  }
+
+  if (!o.dot_file.empty()) {
+    std::ofstream out(o.dot_file);
+    out << g.to_dot();
+    if (!o.quiet) std::cout << "wrote " << o.dot_file << '\n';
+  }
+
+  if (!o.plan_file.empty()) {
+    std::ifstream in(o.plan_file);
+    if (!in) {
+      std::cerr << "cannot open plan file '" << o.plan_file << "'\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    PartitionResult plan = plan_from_json(buf.str());
+    // auto_partition's task ids refer to the atomic-rebuilt graph (constant
+    // chains cloned per consumer); rebuild it the same deterministic way.
+    std::shared_ptr<const TaskGraph> plan_graph;
+    if (o.raw_graph) {
+      plan_graph = std::make_shared<const TaskGraph>(g);
+    } else {
+      auto ap = std::make_shared<AtomicPartition>(atomic_partition(g));
+      plan_graph = std::shared_ptr<const TaskGraph>(ap, &ap->graph);
+    }
+    plan.graph = plan_graph;
+    PartitionConfig cfg;
+    if (o.nodes) cfg.cluster.num_nodes = o.nodes;
+    if (o.devices_per_node) cfg.cluster.devices_per_node = o.devices_per_node;
+    if (o.batch_size) cfg.batch_size = o.batch_size;
+    const auto violations = validate_plan(plan, cfg);
+    for (const PlanViolation& v : violations)
+      std::cout << "plan violation: " << v.what << '\n';
+    if (!o.quiet)
+      std::cout << "plan " << o.plan_file << ": "
+                << (violations.empty() ? "valid" : "INVALID") << " ("
+                << plan.stages.size() << " stages)\n";
+    bad = bad || !violations.empty();
+  }
+
+  if (!o.quiet)
+    std::cout << (bad ? "FAIL" : "OK") << ": " << count_errors(ds)
+              << " errors, " << ds.size() - count_errors(ds)
+              << " warnings\n";
+  return bad ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    auto num = [&](std::int64_t& dst) {
+      v = need(i);
+      if (v) dst = std::stoll(v);
+      return v != nullptr;
+    };
+    bool ok = true;
+    if (a == "--model") {
+      v = need(i);
+      if (v) o.model = v;
+      ok = v != nullptr;
+    } else if (a == "--layers") ok = num(o.layers);
+    else if (a == "--hidden") ok = num(o.hidden);
+    else if (a == "--seq") ok = num(o.seq);
+    else if (a == "--vocab") ok = num(o.vocab);
+    else if (a == "--heads") ok = num(o.heads);
+    else if (a == "--depth") ok = num(o.depth);
+    else if (a == "--width") ok = num(o.width);
+    else if (a == "--image") ok = num(o.image);
+    else if (a == "--classes") ok = num(o.classes);
+    else if (a == "--batch") ok = num(o.batch);
+    else if (a == "--input-dim") ok = num(o.input_dim);
+    else if (a == "--batch-size") ok = num(o.batch_size);
+    else if (a == "--nodes") {
+      std::int64_t n = 0;
+      ok = num(n);
+      o.nodes = static_cast<int>(n);
+    } else if (a == "--devices-per-node") {
+      std::int64_t n = 0;
+      ok = num(n);
+      o.devices_per_node = static_cast<int>(n);
+    } else if (a == "--plan") {
+      v = need(i);
+      if (v) o.plan_file = v;
+      ok = v != nullptr;
+    } else if (a == "--dot") {
+      v = need(i);
+      if (v) o.dot_file = v;
+      ok = v != nullptr;
+    } else if (a == "--raw-graph") o.raw_graph = true;
+    else if (a == "--liveness") o.liveness = true;
+    else if (a == "--quiet") o.quiet = true;
+    else if (a == "--help" || a == "-h") return usage(argv[0]);
+    else {
+      std::cerr << "unknown argument '" << a << "'\n";
+      return usage(argv[0]);
+    }
+    if (!ok) {
+      std::cerr << "missing value for '" << a << "'\n";
+      return usage(argv[0]);
+    }
+  }
+  if (o.model.empty()) return usage(argv[0]);
+  try {
+    return run(o);
+  } catch (const std::exception& e) {
+    std::cerr << "rannc-lint: " << e.what() << '\n';
+    return 2;
+  }
+}
