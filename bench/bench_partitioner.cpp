@@ -4,121 +4,356 @@
 //  * atomic component counts vs model depth (paper: ~15k at 256 layers);
 //  * block-count (k) sweep: balance quality vs search cost (paper fixes 32);
 //  * balance-refinement ablation;
-//  * DP search-space statistics (cells, memoized profile queries).
+//  * DP search-space statistics (cells, memoized profile queries);
+//  * search-engine benchmark: the parallel, memoized (S, MB) stage-DP sweep
+//    across BERT / ResNet / GPT-2 geometries, emitted as
+//    BENCH_PARTITIONER.json (search wall-clock, dp_cells, profile_queries,
+//    memo hit rate, speedup vs the single-threaded unmemoized baseline, and
+//    a bit-identical-plan check across every configuration).
+//
+// Usage: bench_partitioner [--quick] [--out FILE]
+//   --quick   small geometries, single rep, skip the legacy diagnostic
+//             sections (CI smoke mode)
+//   --out     JSON output path (default BENCH_PARTITIONER.json)
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "models/bert.h"
+#include "models/gpt2.h"
+#include "models/resnet.h"
 #include "partition/atomic.h"
 #include "partition/auto_partitioner.h"
 #include "partition/block.h"
+#include "partition/plan_io.h"
 #include "profiler/graph_profiler.h"
 
-int main() {
+namespace {
+
+using namespace rannc;
+
+struct Geometry {
+  std::string name;
+  std::int64_t batch_size = 256;
+  std::function<BuiltModel()> build;
+};
+
+struct ConfigResult {
+  std::string label;
+  int threads = 1;
+  bool profile_memo = true;
+  bool feasible = false;
+  double search_seconds = 0;  ///< min over reps
+  double wall_seconds = 0;    ///< min over reps, whole auto_partition
+  std::int64_t dp_cells = 0;
+  std::int64_t profile_queries = 0;
+  std::int64_t profile_queries_saved = 0;
+  std::int64_t memo_hits = 0;
+  std::int64_t memo_misses = 0;
+  double memo_hit_rate = 0;
+  std::string plan_json;
+};
+
+std::vector<Geometry> make_geometries(bool quick) {
+  std::vector<Geometry> gs;
+  if (quick) {
+    gs.push_back({"bert-h512-L8", 64, [] {
+                    BertConfig bc;
+                    bc.hidden = 512;
+                    bc.layers = 8;
+                    return build_bert(bc);
+                  }});
+    gs.push_back({"resnet50", 64, [] {
+                    ResNetConfig rc;
+                    rc.depth = 50;
+                    return build_resnet(rc);
+                  }});
+    gs.push_back({"gpt2-h256-L4", 32, [] {
+                    Gpt2Config gc;
+                    gc.hidden = 256;
+                    gc.layers = 4;
+                    gc.seq_len = 256;
+                    return build_gpt2(gc);
+                  }});
+  } else {
+    gs.push_back({"bert-large-h1024-L24", 256, [] {
+                    BertConfig bc;
+                    bc.hidden = 1024;
+                    bc.layers = 24;
+                    return build_bert(bc);
+                  }});
+    gs.push_back({"resnet50", 256, [] {
+                    ResNetConfig rc;
+                    rc.depth = 50;
+                    return build_resnet(rc);
+                  }});
+    gs.push_back({"gpt2-h768-L12", 64, [] {
+                    Gpt2Config gc;
+                    gc.hidden = 768;
+                    gc.layers = 12;
+                    return build_gpt2(gc);
+                  }});
+  }
+  return gs;
+}
+
+ConfigResult run_config(const TaskGraph& graph, const Geometry& g,
+                        const std::string& label, int threads,
+                        bool profile_memo, int reps) {
+  ConfigResult cr;
+  cr.label = label;
+  cr.threads = threads;
+  cr.profile_memo = profile_memo;
+  cr.search_seconds = 1e30;
+  cr.wall_seconds = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    PartitionConfig cfg;
+    cfg.batch_size = g.batch_size;
+    cfg.threads = threads;
+    cfg.profile_memo = profile_memo;
+    PartitionResult r = auto_partition(graph, cfg);
+    cr.feasible = r.feasible;
+    cr.search_seconds = std::min(cr.search_seconds, r.stats.search_seconds);
+    cr.wall_seconds = std::min(cr.wall_seconds, r.stats.wall_seconds);
+    cr.dp_cells = r.stats.dp_cells_visited;
+    cr.profile_queries = r.stats.profile_queries;
+    cr.profile_queries_saved = r.stats.profile_queries_saved;
+    cr.memo_hits = r.stats.memo_hits;
+    cr.memo_misses = r.stats.memo_misses;
+    cr.memo_hit_rate = r.stats.memo_hit_rate();
+    if (rep == 0) cr.plan_json = plan_to_json(r);
+  }
+  return cr;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace rannc;
 
-  std::printf("== Atomic component counts (BERT hidden 1024) ==\n");
-  std::printf("%-7s %-8s %-8s %-8s\n", "layers", "tasks", "atomic", "cloned");
-  for (std::int64_t L : {24LL, 96LL, 256LL}) {
-    BertConfig bc;
-    bc.hidden = 1024;
-    bc.layers = L;
-    BuiltModel bm = build_bert(bc);
-    AtomicPartition ap = atomic_partition(bm.graph);
-    std::printf("%-7lld %-8zu %-8zu %-8zu\n", static_cast<long long>(L),
-                ap.graph.num_tasks(), ap.comps.size(), ap.num_cloned_tasks);
-  }
-
-  std::printf("\n== Block count (k) sweep: BERT hidden 1024, 96 layers ==\n");
-  std::printf("%-5s %-12s %-12s %-10s %-10s\n", "k", "max/mean", "cut(MiB)",
-              "levels", "moves");
-  {
-    BertConfig bc;
-    bc.hidden = 1024;
-    bc.layers = 96;
-    BuiltModel bm = build_bert(bc);
-    AtomicPartition ap = atomic_partition(bm.graph);
-    GraphProfiler prof(ap.graph, DeviceSpec{});
-    for (int k : {8, 16, 32, 64}) {
-      BlockPartitionConfig cfg;
-      cfg.k = k;
-      cfg.profile_batch = 8;
-      BlockPartition bp = block_partition(ap, prof, cfg);
-      double mx = 0, sum = 0;
-      for (const Block& b : bp.blocks) {
-        mx = std::max(mx, b.time());
-        sum += b.time();
-      }
-      std::printf("%-5d %-12.3f %-12.1f %-10d %-10d\n", k,
-                  mx / (sum / static_cast<double>(bp.blocks.size())),
-                  static_cast<double>(bp.cut_bytes) / (1024.0 * 1024.0),
-                  bp.coarsen_levels, bp.uncoarsen_moves);
+  bool quick = false;
+  std::string out_path = "BENCH_PARTITIONER.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      return 2;
     }
   }
 
-  std::printf("\n== Uncoarsening ablation (k=32): inter-block traffic ==\n");
-  {
-    BertConfig bc;
-    bc.hidden = 1024;
-    bc.layers = 96;
-    BuiltModel bm = build_bert(bc);
-    AtomicPartition ap = atomic_partition(bm.graph);
-    GraphProfiler prof(ap.graph, DeviceSpec{});
-    for (bool unc : {false, true}) {
-      BlockPartitionConfig cfg;
-      cfg.k = 32;
-      cfg.profile_batch = 8;
-      cfg.uncoarsening = unc;
-      BlockPartition bp = block_partition(ap, prof, cfg);
-      std::printf("  uncoarsening %-3s: cut = %.1f MiB (%d boundary moves)\n",
-                  unc ? "on" : "off",
-                  static_cast<double>(bp.cut_bytes) / (1024.0 * 1024.0),
-                  bp.uncoarsen_moves);
-    }
-  }
-
-  std::printf("\n== Balance-refinement ablation (k=32) ==\n");
-  {
-    BertConfig bc;
-    bc.hidden = 1024;
-    bc.layers = 96;
-    BuiltModel bm = build_bert(bc);
-    AtomicPartition ap = atomic_partition(bm.graph);
-    GraphProfiler prof(ap.graph, DeviceSpec{});
-    for (bool refine : {false, true}) {
-      BlockPartitionConfig cfg;
-      cfg.k = 32;
-      cfg.profile_batch = 8;
-      cfg.balance_refinement = refine;
-      BlockPartition bp = block_partition(ap, prof, cfg);
-      double mx = 0, mn = 1e30;
-      for (const Block& b : bp.blocks) {
-        mx = std::max(mx, b.time());
-        mn = std::min(mn, b.time());
-      }
-      std::printf("  refinement %-3s: block time spread max/min = %.2f\n",
-                  refine ? "on" : "off", mx / mn);
-    }
-  }
-
-  std::printf("\n== Full-search statistics (Algorithm 2) ==\n");
-  std::printf("%-7s %-7s %-10s %-12s %-12s %-12s %-8s\n", "hidden", "layers",
-              "blocks", "dp_invocs", "dp_cells", "profiles", "wall(s)");
-  for (std::int64_t h : {1024LL, 2048LL}) {
+  if (!quick) {
+    std::printf("== Atomic component counts (BERT hidden 1024) ==\n");
+    std::printf("%-7s %-8s %-8s %-8s\n", "layers", "tasks", "atomic",
+                "cloned");
     for (std::int64_t L : {24LL, 96LL, 256LL}) {
       BertConfig bc;
-      bc.hidden = h;
+      bc.hidden = 1024;
       bc.layers = L;
       BuiltModel bm = build_bert(bc);
-      PartitionConfig cfg;
-      cfg.batch_size = 256;
-      PartitionResult r = auto_partition(bm.graph, cfg);
-      std::printf("%-7lld %-7lld %-10d %-12d %-12lld %-12lld %-8.2f\n",
-                  static_cast<long long>(h), static_cast<long long>(L),
-                  r.stats.blocks, r.stats.dp_invocations,
-                  static_cast<long long>(r.stats.dp_cells_visited),
-                  static_cast<long long>(r.stats.profile_queries),
-                  r.stats.wall_seconds);
+      AtomicPartition ap = atomic_partition(bm.graph);
+      std::printf("%-7lld %-8zu %-8zu %-8zu\n", static_cast<long long>(L),
+                  ap.graph.num_tasks(), ap.comps.size(), ap.num_cloned_tasks);
+    }
+
+    std::printf("\n== Block count (k) sweep: BERT hidden 1024, 96 layers ==\n");
+    std::printf("%-5s %-12s %-12s %-10s %-10s\n", "k", "max/mean", "cut(MiB)",
+                "levels", "moves");
+    {
+      BertConfig bc;
+      bc.hidden = 1024;
+      bc.layers = 96;
+      BuiltModel bm = build_bert(bc);
+      AtomicPartition ap = atomic_partition(bm.graph);
+      GraphProfiler prof(ap.graph, DeviceSpec{});
+      for (int k : {8, 16, 32, 64}) {
+        BlockPartitionConfig cfg;
+        cfg.k = k;
+        cfg.profile_batch = 8;
+        BlockPartition bp = block_partition(ap, prof, cfg);
+        double mx = 0, sum = 0;
+        for (const Block& b : bp.blocks) {
+          mx = std::max(mx, b.time());
+          sum += b.time();
+        }
+        std::printf("%-5d %-12.3f %-12.1f %-10d %-10d\n", k,
+                    mx / (sum / static_cast<double>(bp.blocks.size())),
+                    static_cast<double>(bp.cut_bytes) / (1024.0 * 1024.0),
+                    bp.coarsen_levels, bp.uncoarsen_moves);
+      }
+    }
+
+    std::printf("\n== Uncoarsening ablation (k=32): inter-block traffic ==\n");
+    {
+      BertConfig bc;
+      bc.hidden = 1024;
+      bc.layers = 96;
+      BuiltModel bm = build_bert(bc);
+      AtomicPartition ap = atomic_partition(bm.graph);
+      GraphProfiler prof(ap.graph, DeviceSpec{});
+      for (bool unc : {false, true}) {
+        BlockPartitionConfig cfg;
+        cfg.k = 32;
+        cfg.profile_batch = 8;
+        cfg.uncoarsening = unc;
+        BlockPartition bp = block_partition(ap, prof, cfg);
+        std::printf(
+            "  uncoarsening %-3s: cut = %.1f MiB (%d boundary moves)\n",
+            unc ? "on" : "off",
+            static_cast<double>(bp.cut_bytes) / (1024.0 * 1024.0),
+            bp.uncoarsen_moves);
+      }
+    }
+
+    std::printf("\n== Balance-refinement ablation (k=32) ==\n");
+    {
+      BertConfig bc;
+      bc.hidden = 1024;
+      bc.layers = 96;
+      BuiltModel bm = build_bert(bc);
+      AtomicPartition ap = atomic_partition(bm.graph);
+      GraphProfiler prof(ap.graph, DeviceSpec{});
+      for (bool refine : {false, true}) {
+        BlockPartitionConfig cfg;
+        cfg.k = 32;
+        cfg.profile_batch = 8;
+        cfg.balance_refinement = refine;
+        BlockPartition bp = block_partition(ap, prof, cfg);
+        double mx = 0, mn = 1e30;
+        for (const Block& b : bp.blocks) {
+          mx = std::max(mx, b.time());
+          mn = std::min(mn, b.time());
+        }
+        std::printf("  refinement %-3s: block time spread max/min = %.2f\n",
+                    refine ? "on" : "off", mx / mn);
+      }
     }
   }
+
+  // ---- Search-engine benchmark: parallel, memoized (S, MB) sweep ----------
+  const int reps = quick ? 1 : 3;
+  const std::vector<int> thread_counts = quick ? std::vector<int>{2}
+                                               : std::vector<int>{2, 4, 8};
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("\n== Search engine: parallel + memoized (S, MB) sweep ==\n");
+  std::printf("(hardware_concurrency = %u, reps = %d, min taken)\n", hw, reps);
+
+  struct GeomResult {
+    std::string name;
+    std::int64_t batch_size = 0;
+    std::size_t tasks = 0;
+    std::vector<ConfigResult> configs;
+    bool plans_identical = true;
+  };
+  std::vector<GeomResult> results;
+
+  for (const Geometry& g : make_geometries(quick)) {
+    BuiltModel bm = g.build();
+    GeomResult gr;
+    gr.name = g.name;
+    gr.batch_size = g.batch_size;
+    gr.tasks = bm.graph.num_tasks();
+
+    gr.configs.push_back(
+        run_config(bm.graph, g, "legacy-t1", 1, /*memo=*/false, reps));
+    gr.configs.push_back(
+        run_config(bm.graph, g, "memo-t1", 1, /*memo=*/true, reps));
+    for (int t : thread_counts)
+      gr.configs.push_back(run_config(bm.graph, g, "memo-t" + std::to_string(t),
+                                      t, /*memo=*/true, reps));
+
+    for (const ConfigResult& cr : gr.configs)
+      if (cr.plan_json != gr.configs.front().plan_json)
+        gr.plans_identical = false;
+
+    const double base = gr.configs.front().search_seconds;
+    std::printf("\n-- %s (BS=%lld, %zu tasks) --\n", g.name.c_str(),
+                static_cast<long long>(g.batch_size), gr.tasks);
+    std::printf("%-10s %-10s %-12s %-12s %-10s %-10s %-8s\n", "config",
+                "search(s)", "dp_cells", "profiles", "saved", "hit_rate",
+                "speedup");
+    for (const ConfigResult& cr : gr.configs) {
+      std::printf("%-10s %-10.3f %-12lld %-12lld %-10lld %-10.3f %-8.2f\n",
+                  cr.label.c_str(), cr.search_seconds,
+                  static_cast<long long>(cr.dp_cells),
+                  static_cast<long long>(cr.profile_queries),
+                  static_cast<long long>(cr.profile_queries_saved),
+                  cr.memo_hit_rate,
+                  cr.search_seconds > 0 ? base / cr.search_seconds : 0.0);
+    }
+    std::printf("  plans identical across configs: %s\n",
+                gr.plans_identical ? "yes" : "NO");
+    results.push_back(std::move(gr));
+  }
+
+  // ---- JSON emission ------------------------------------------------------
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  os << "{\n";
+  os << "  \"bench\": \"partitioner_search\",\n";
+  os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "  \"reps\": " << reps << ",\n";
+  os << "  \"hardware_concurrency\": " << hw << ",\n";
+  os << "  \"geometries\": [\n";
+  for (std::size_t gi = 0; gi < results.size(); ++gi) {
+    const auto& gr = results[gi];
+    const double base = gr.configs.front().search_seconds;
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(gr.name) << "\",\n";
+    os << "      \"batch_size\": " << gr.batch_size << ",\n";
+    os << "      \"tasks\": " << gr.tasks << ",\n";
+    os << "      \"plans_identical\": "
+       << (gr.plans_identical ? "true" : "false") << ",\n";
+    os << "      \"configs\": [\n";
+    for (std::size_t ci = 0; ci < gr.configs.size(); ++ci) {
+      const auto& cr = gr.configs[ci];
+      os << "        {\n";
+      os << "          \"label\": \"" << json_escape(cr.label) << "\",\n";
+      os << "          \"threads\": " << cr.threads << ",\n";
+      os << "          \"profile_memo\": "
+         << (cr.profile_memo ? "true" : "false") << ",\n";
+      os << "          \"feasible\": " << (cr.feasible ? "true" : "false")
+         << ",\n";
+      os << "          \"search_seconds\": " << cr.search_seconds << ",\n";
+      os << "          \"wall_seconds\": " << cr.wall_seconds << ",\n";
+      os << "          \"dp_cells\": " << cr.dp_cells << ",\n";
+      os << "          \"profile_queries\": " << cr.profile_queries << ",\n";
+      os << "          \"profile_queries_saved\": " << cr.profile_queries_saved
+         << ",\n";
+      os << "          \"memo_hits\": " << cr.memo_hits << ",\n";
+      os << "          \"memo_misses\": " << cr.memo_misses << ",\n";
+      os << "          \"memo_hit_rate\": " << cr.memo_hit_rate << ",\n";
+      os << "          \"speedup_vs_legacy\": "
+         << (cr.search_seconds > 0 ? base / cr.search_seconds : 0.0) << "\n";
+      os << "        }" << (ci + 1 < gr.configs.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n";
+    os << "    }" << (gi + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  os.close();
+  std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

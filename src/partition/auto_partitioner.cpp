@@ -1,14 +1,23 @@
 #include "partition/auto_partitioner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <shared_mutex>
 #include <sstream>
+#include <tuple>
 
 #include "analysis/verifier.h"
 #include "comm/oracle.h"
 #include "partition/atomic.h"
+#include "partition/profile_memo.h"
+#include "util/thread_pool.h"
 
 namespace rannc {
 
@@ -113,13 +122,20 @@ class UnitSequence {
   }
 
   /// Prefix forward/backward compute times for a given microbatch size,
-  /// built lazily (one O(T) pass per distinct bsize).
+  /// built lazily (one O(T) pass per distinct bsize). Thread-safe: the
+  /// parallel sweep normally only ever *reads* entries pre-built by
+  /// prebuild_times, but a miss under concurrency is still correct (the
+  /// slow path re-checks under the exclusive lock; std::map references
+  /// stay stable across inserts).
   struct TimePrefix {
     std::vector<double> f, b;
   };
   const TimePrefix& times(std::int64_t bsize) const {
-    auto it = time_cache_.find(bsize);
-    if (it != time_cache_.end()) return it->second;
+    {
+      std::shared_lock<std::shared_mutex> lk(times_mu_);
+      if (auto it = time_cache_.find(bsize); it != time_cache_.end())
+        return it->second;
+    }
     TimePrefix tp;
     const int n = size();
     tp.f.assign(static_cast<std::size_t>(n) + 1, 0);
@@ -133,7 +149,14 @@ class UnitSequence {
       tp.f[static_cast<std::size_t>(u) + 1] = tp.f[static_cast<std::size_t>(u)] + f;
       tp.b[static_cast<std::size_t>(u) + 1] = tp.b[static_cast<std::size_t>(u)] + b;
     }
+    std::unique_lock<std::shared_mutex> lk(times_mu_);
     return time_cache_.emplace(bsize, std::move(tp)).first->second;
+  }
+
+  /// Builds the time-prefix tables for every microbatch size in `bsizes`
+  /// upfront, so the concurrent sweep hits only the shared-lock fast path.
+  void prebuild_times(const std::set<std::int64_t>& bsizes) const {
+    for (std::int64_t b : bsizes) times(b);
   }
 
  private:
@@ -144,6 +167,7 @@ class UnitSequence {
   std::vector<double> pact_;  // batch-1 fp32 activation bytes
   std::vector<std::int64_t> pparams_, pnparams_;
   std::vector<double> cross_;
+  mutable std::shared_mutex times_mu_;
   mutable std::map<std::int64_t, TimePrefix> time_cache_;
 };
 
@@ -233,7 +257,36 @@ struct Candidate {
   double est_iter = 0;
 };
 
+/// Every microbatch size the Phase-3 sweep (or estimate_iteration) can ask
+/// the profile fn for: bsize = BS / R / MB / stage_devs over the exact
+/// (n, MB, stage_devs) ranges Algorithm 2 enumerates, clamped to >= 1.
+/// Pre-building the time-prefix tables for this set means the concurrent
+/// jobs never take the exclusive path of the lazy cache.
+std::set<std::int64_t> enumerate_bsizes(std::int64_t BS, int N_nodes,
+                                        int Dnode) {
+  std::set<std::int64_t> out{1};
+  for (int n = 1; n <= N_nodes; n *= 2) {
+    const int D = Dnode * n;
+    const int R = N_nodes / n;
+    for (int MB = 1; MB <= BS / R; MB *= 2)
+      for (int sd = 1; sd <= D; ++sd) {
+        const std::int64_t b = BS / R / MB / sd;
+        if (b >= 1) out.insert(b);
+      }
+  }
+  return out;
+}
+
 }  // namespace
+
+int resolve_search_threads(int threads_knob) {
+  if (threads_knob > 0) return threads_knob;
+  if (const char* e = std::getenv("RANNC_THREADS")) {
+    const long v = std::strtol(e, nullptr, 10);
+    if (v > 0) return static_cast<int>(std::min<long>(v, 256));
+  }
+  return 1;
+}
 
 PartitionResult auto_partition(const TaskGraph& model,
                                const PartitionConfig& cfg) {
@@ -308,11 +361,32 @@ PartitionResult auto_partition(const TaskGraph& model,
           : make_profile_fn(eval_seq, prof, cfg.cluster, cfg.precision,
                             cfg.optimizer, /*summed_estimates=*/false);
 
-  // Phase 3: Algorithm 2 (form_stage).
+  // Phase 3: Algorithm 2 (form_stage), dispatched as a parallel, memoized
+  // sweep. Every (S, MB) pair of a node group is an independent stage-DP
+  // invocation; they run on a pool sized by cfg.threads, share one
+  // StageProfile memo and (when set) one atomic cell budget, and are
+  // aggregated in job order so the result is bit-identical at any thread
+  // count.
+  const int threads = resolve_search_threads(cfg.threads);
+  res.stats.threads_used = threads;
+  const auto t_search0 = std::chrono::steady_clock::now();
+
+  seq.prebuild_times(enumerate_bsizes(BS, N_nodes, Dnode));
+  std::optional<ProfileMemo> memo;
+  RangeProfileFn sweep_fn = search_fn;
+  if (cfg.profile_memo) {
+    memo.emplace(search_fn);
+    sweep_fn = memo->fn();
+  }
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1)
+    pool = std::make_unique<ThreadPool>(static_cast<unsigned>(threads - 1));
+  std::atomic<std::int64_t> shared_cells{0};
+
   bool aborted = false;
   Candidate best;
   bool found = false;
-  for (int n = 1; n <= N_nodes && !found; n *= 2) {
+  for (int n = 1; n <= N_nodes && !found && !aborted; n *= 2) {
     const int D = Dnode * n;
     const int R = N_nodes / n;
     // Deviation from the Algorithm 2 listing: candidates are accumulated
@@ -321,45 +395,80 @@ PartitionResult auto_partition(const TaskGraph& model,
     // listing's early return can miss a strictly better uniform split at
     // S+1 (e.g. 8 one-device stages vs 7 stages where one stage's two
     // replicas cannot split the microbatch further).
-    std::vector<Candidate> A;
+    struct SweepJob {
+      int S = 0, MB = 0;
+    };
+    std::vector<SweepJob> jobs;  // (S asc, MB asc) — the aggregation order
     for (int S = Dnode * (n - 1) + 1;
-         S <= std::min(Dnode * n, seq.size()); ++S) {
-      for (int MB = 1; MB <= BS / R; MB *= 2) {
-        StageDpInput in;
-        in.num_units = seq.size();
-        in.num_stages = S;
-        in.num_devices = D;
-        in.batch_size = BS;
-        in.replica_factor = R;
-        in.microbatches = MB;
-        in.device_memory = M;
-        in.max_cells = cfg.max_dp_cells;
-        in.profile = search_fn;
-        StageDpSolution sol = form_stage_dp(in);
-        res.stats.dp_cells_visited += sol.dp_cells_visited;
-        res.stats.profile_queries += sol.profile_queries;
-        ++res.stats.dp_invocations;
-        if (sol.aborted) {
-          aborted = true;
-          break;
-        }
-        if (!sol.feasible) {
-          res.stats.candidates.push_back({n, S, MB, false, 0});
-          continue;
-        }
-        Candidate c;
-        c.est_iter = estimate_iteration(seq, search_fn, cfg.cluster,
-                                        cfg.precision, sol, BS, R, MB);
-        res.stats.candidates.push_back({n, S, MB, true, c.est_iter});
-        c.sol = std::move(sol);
-        c.S = S;
-        c.D = D;
-        c.R = R;
-        c.MB = MB;
-        c.n = n;
-        A.push_back(std::move(c));
+         S <= std::min(Dnode * n, seq.size()); ++S)
+      for (int MB = 1; MB <= BS / R; MB *= 2) jobs.push_back({S, MB});
+    std::vector<StageDpSolution> sols(jobs.size());
+    std::vector<double> ests(jobs.size(), 0);
+
+    const auto run_job = [&](std::int64_t i) {
+      const SweepJob& j = jobs[static_cast<std::size_t>(i)];
+      StageDpInput in;
+      in.num_units = seq.size();
+      in.num_stages = j.S;
+      in.num_devices = D;
+      in.batch_size = BS;
+      in.replica_factor = R;
+      in.microbatches = j.MB;
+      in.device_memory = M;
+      in.max_cells = cfg.max_dp_cells;
+      in.shared_cells = cfg.max_dp_cells > 0 ? &shared_cells : nullptr;
+      in.reuse_equal_stage_devs = cfg.profile_memo;
+      in.profile = sweep_fn;
+      StageDpSolution sol = form_stage_dp(in);
+      if (sol.feasible)
+        ests[static_cast<std::size_t>(i)] =
+            estimate_iteration(seq, sweep_fn, cfg.cluster, cfg.precision,
+                               sol, BS, R, j.MB);
+      sols[static_cast<std::size_t>(i)] = std::move(sol);
+    };
+    if (pool) {
+      pool->parallel_each(static_cast<std::int64_t>(jobs.size()), run_job);
+    } else {
+      for (std::size_t i = 0; i < jobs.size(); ++i)
+        run_job(static_cast<std::int64_t>(i));
+    }
+
+    // Serial aggregation in job (S, MB) order, independent of completion
+    // order. The first strict est_iter minimum wins, which realizes the
+    // deterministic (n, S, MB) tie-break: equal estimates resolve to the
+    // smallest stage count, then the fewest microbatches.
+    std::vector<Candidate> A;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      StageDpSolution& sol = sols[i];
+      res.stats.dp_cells_visited += sol.dp_cells_visited;
+      res.stats.profile_queries += sol.profile_queries;
+      res.stats.profile_queries_saved += sol.profile_queries_saved;
+      ++res.stats.dp_invocations;
+      if (sol.aborted) aborted = true;
+    }
+    if (aborted) {
+      // All-or-nothing: which sibling jobs completed before the shared
+      // budget ran out is scheduling-dependent, so none of this node
+      // group's candidates may be used or traced.
+      break;
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      StageDpSolution& sol = sols[i];
+      if (!sol.feasible) {
+        res.stats.candidates.push_back({n, jobs[i].S, jobs[i].MB, false, 0});
+        continue;
       }
-      if (aborted) break;
+      res.stats.candidates.push_back(
+          {n, jobs[i].S, jobs[i].MB, true, ests[i]});
+      Candidate c;
+      c.est_iter = ests[i];
+      c.sol = std::move(sol);
+      c.S = jobs[i].S;
+      c.D = D;
+      c.R = R;
+      c.MB = jobs[i].MB;
+      c.n = n;
+      A.push_back(std::move(c));
     }
     if (!A.empty()) {
       best = *std::min_element(A.begin(), A.end(),
@@ -368,8 +477,22 @@ PartitionResult auto_partition(const TaskGraph& model,
                                });
       found = true;
     }
-    if (aborted) break;
   }
+  // Defensive: candidates are pushed in (n, S, MB) order above; keep the
+  // documented ordering guarantee even if a future refactor perturbs it.
+  std::sort(res.stats.candidates.begin(), res.stats.candidates.end(),
+            [](const CandidateTrace& a, const CandidateTrace& b) {
+              return std::tie(a.nodes, a.stages, a.microbatches) <
+                     std::tie(b.nodes, b.stages, b.microbatches);
+            });
+  if (memo) {
+    res.stats.memo_hits = memo->hits();
+    res.stats.memo_misses = memo->misses();
+  }
+  res.stats.search_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_search0)
+          .count();
 
   res.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -32,8 +32,22 @@ struct PartitionConfig {
   /// per-component profiles.
   bool use_coarsening = true;
   /// Safety cap for the ablation variant, whose DP is O(|B|^2 D^2 S) with
-  /// |B| in the thousands. 0 = unlimited.
+  /// |B| in the thousands. 0 = unlimited. The cap is a *global* budget
+  /// shared (through one atomic counter) by every stage-DP invocation of
+  /// the search; whether it is exhausted depends only on the total demand,
+  /// so the aborted-vs-completed outcome is identical at any thread count.
   std::int64_t max_dp_cells = 0;
+  /// Worker threads for the Phase-3 (S, MB) stage-DP sweep. 0 = take
+  /// RANNC_THREADS from the environment, defaulting to 1. Plans are
+  /// bit-identical at any thread count (deterministic job enumeration,
+  /// aggregation and winner tie-break).
+  int threads = 0;
+  /// Profile memoization: the cross-DP StageProfile cache (ProfileMemo)
+  /// plus the equal-stage_devs reuse inside form_stage_dp. Off reproduces
+  /// the legacy recompute-everything behaviour; the resulting plan is
+  /// identical either way. Exposed so bench_partitioner can measure the
+  /// memoization speedup.
+  bool profile_memo = true;
 
   [[nodiscard]] std::int64_t usable_memory() const {
     return static_cast<std::int64_t>(
@@ -72,9 +86,29 @@ struct SearchStats {
   int compaction_merges = 0;
   std::int64_t dp_cells_visited = 0;
   std::int64_t profile_queries = 0;
+  /// Queries avoided by the equal-stage_devs reuse inside form_stage_dp.
+  std::int64_t profile_queries_saved = 0;
+  /// Cross-DP profile-memo hit/miss counts (0/0 when profile_memo is off).
+  std::int64_t memo_hits = 0;
+  std::int64_t memo_misses = 0;
   int dp_invocations = 0;
-  double wall_seconds = 0;
-  std::vector<CandidateTrace> candidates;  ///< every (S, MB) examined
+  int threads_used = 1;      ///< resolved PartitionConfig::threads
+  double wall_seconds = 0;   ///< whole auto_partition call
+  double search_seconds = 0; ///< Phase-3 sweep only (subset of wall_seconds)
+  /// Every (S, MB) examined, in deterministic (nodes, stages, microbatches)
+  /// order regardless of which worker thread finished first. When the
+  /// search aborts on the cell budget, the aborting node group's traces are
+  /// dropped (which sibling jobs completed first is scheduling-dependent)
+  /// and the cell/query totals reflect the work actually done, which may
+  /// vary with scheduling; every other field is thread-count-invariant.
+  std::vector<CandidateTrace> candidates;
+
+  [[nodiscard]] double memo_hit_rate() const {
+    const std::int64_t total = memo_hits + memo_misses;
+    return total > 0 ? static_cast<double>(memo_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
 };
 
 struct PartitionResult {
@@ -101,6 +135,10 @@ struct PartitionResult {
 /// Runs the full RaNNC partitioning pipeline on `model`.
 PartitionResult auto_partition(const TaskGraph& model,
                                const PartitionConfig& cfg);
+
+/// Resolves PartitionConfig::threads: an explicit positive value wins,
+/// else the RANNC_THREADS environment variable, else 1.
+int resolve_search_threads(int threads_knob);
 
 /// Human-readable plan summary (stages, devices, times, memory).
 std::string describe(const PartitionResult& r);

@@ -1,0 +1,38 @@
+#include "partition/profile_memo.h"
+
+namespace rannc {
+
+RangeProfileFn ProfileMemo::fn() {
+  return [this](int lo, int hi, std::int64_t bsize, int microbatches,
+                int num_stages) -> StageProfile {
+    return lookup(lo, hi, bsize, microbatches, num_stages);
+  };
+}
+
+StageProfile ProfileMemo::lookup(int lo, int hi, std::int64_t bsize,
+                                 int microbatches, int num_stages) {
+  Key k;
+  k.lo = lo;
+  k.hi = hi;
+  k.bsize = bsize;
+  k.inflight = num_stages == 1 ? 1 : microbatches;
+  k.checkpointing = num_stages > 1;
+  Shard& sh = shards_[KeyHash{}(k) % kShards];
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    if (auto it = sh.map.find(k); it != sh.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Compute outside the shard lock: the base fn may take its own locks
+  // (UnitSequence's time-prefix cache) and other shard keys stay usable
+  // meanwhile. A concurrent miss on the same key computes the same value;
+  // the second emplace is a no-op.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const StageProfile p = base_(lo, hi, bsize, microbatches, num_stages);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  return sh.map.emplace(k, p).first->second;
+}
+
+}  // namespace rannc

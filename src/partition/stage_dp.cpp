@@ -8,6 +8,11 @@ namespace rannc {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Cell visits are flushed to a shared budget counter in batches, so the
+/// atomic is touched ~once per kFlush cells instead of once per cell. A
+/// concurrent sweep can therefore overshoot the budget by at most
+/// kFlush * threads cells — the budget is a work cap, not an exact count.
+constexpr std::int64_t kFlush = 4096;
 }
 
 StageDpSolution form_stage_dp(const StageDpInput& in) {
@@ -38,16 +43,53 @@ StageDpSolution form_stage_dp(const StageDpInput& in) {
   // empty prefix.
   V[idx(0, 0, 0)] = 0;
 
+  // Budget accounting. With a shared counter the per-cell check becomes a
+  // batched flush (see kFlush); without one the legacy exact per-cell
+  // comparison is kept.
+  std::int64_t unflushed_cells = 0;
+  const auto budget_exceeded = [&]() -> bool {
+    if (in.max_cells <= 0) return false;
+    if (in.shared_cells == nullptr)
+      return sol.dp_cells_visited > in.max_cells;
+    if (unflushed_cells < kFlush) return false;
+    in.shared_cells->fetch_add(unflushed_cells, std::memory_order_relaxed);
+    unflushed_cells = 0;
+    return in.shared_cells->load(std::memory_order_relaxed) > in.max_cells;
+  };
+  const auto flush_cells = [&] {
+    if (in.shared_cells && unflushed_cells > 0) {
+      in.shared_cells->fetch_add(unflushed_cells, std::memory_order_relaxed);
+      unflushed_cells = 0;
+    }
+  };
+
+  // Per-(s, b) StageProfile reuse across equal stage_devs = d - dp: the
+  // profile of range (bp, b] depends on (d, dp) only through stage_devs,
+  // which the descending d loop would otherwise re-query for every d.
+  struct CacheEnt {
+    std::uint32_t epoch = 0;
+    StageProfile p;
+  };
+  std::vector<CacheEnt> pcache;
+  if (in.reuse_equal_stage_devs)
+    pcache.assign(static_cast<std::size_t>(N) *
+                      static_cast<std::size_t>(D + 1),
+                  CacheEnt{});
+  std::uint32_t epoch = 0;
+
   int d_min = 1;
   for (int s = 1; s <= S; ++s) {
     for (int b = s; b <= N - S + s; ++b) {
+      ++epoch;  // invalidates the (bp, stage_devs) profile cache
       for (int d = D - (S - s); d >= std::max(d_min, s); --d) {
         bool bsize_clipped = false;
         for (int bp = s - 1; bp <= b - 1; ++bp) {
           for (int dp = s - 1; dp <= d - 1; ++dp) {
             ++sol.dp_cells_visited;
-            if (in.max_cells > 0 && sol.dp_cells_visited > in.max_cells) {
+            ++unflushed_cells;
+            if (budget_exceeded()) {
               sol.aborted = true;
+              flush_cells();
               return sol;
             }
             const double prevV = V[idx(s - 1, bp, dp)];
@@ -60,9 +102,25 @@ StageDpSolution form_stage_dp(const StageDpInput& in) {
               bsize_clipped = true;  // too many replicas for this microbatch
               continue;
             }
-            ++sol.profile_queries;
-            const StageProfile p =
-                in.profile(bp, b, bsize, in.microbatches, S);
+            StageProfile p;
+            if (in.reuse_equal_stage_devs) {
+              CacheEnt& ce =
+                  pcache[static_cast<std::size_t>(bp) *
+                             static_cast<std::size_t>(D + 1) +
+                         static_cast<std::size_t>(stage_devs)];
+              if (ce.epoch == epoch) {
+                ++sol.profile_queries_saved;
+                p = ce.p;
+              } else {
+                ++sol.profile_queries;
+                p = in.profile(bp, b, bsize, in.microbatches, S);
+                ce.epoch = epoch;
+                ce.p = p;
+              }
+            } else {
+              ++sol.profile_queries;
+              p = in.profile(bp, b, bsize, in.microbatches, S);
+            }
             if (in.device_memory > 0 && p.mem > in.device_memory)
               continue;  // does not fit the device memory
             const double ntf = std::max(tf[idx(s - 1, bp, dp)], p.t_f);
@@ -91,6 +149,7 @@ StageDpSolution form_stage_dp(const StageDpInput& in) {
     }
   }
 
+  flush_cells();
   if (V[idx(S, N, D)] == kInf) return sol;
 
   sol.feasible = true;

@@ -8,6 +8,7 @@
 // t_b, is minimized subject to the device-memory constraint.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -40,6 +41,23 @@ struct StageDpInput {
   /// limit). Emulates the paper's 24-hour search timeout for the
   /// no-coarsening ablation (Section IV-C).
   std::int64_t max_cells = 0;
+  /// Optional cross-invocation budget. When set, every invocation sharing
+  /// the counter draws its cell visits from it and `max_cells` bounds the
+  /// *sum* across all of them — this is how auto_partition gives the whole
+  /// concurrent (S, MB) sweep one budget. When null, `max_cells` bounds
+  /// this invocation alone (the legacy semantics). Whether the shared
+  /// budget is exhausted at all is deterministic (it only depends on the
+  /// total demand), but *which* concurrent invocation observes the
+  /// exhaustion first is scheduling-dependent; callers must treat any
+  /// aborted invocation as aborting the whole sweep.
+  std::atomic<std::int64_t>* shared_cells = nullptr;
+  /// Reuse the StageProfile across (d, dp) pairs with equal stage_devs =
+  /// d - dp within one (s, b) iteration: the profile depends on dp only
+  /// through stage_devs, so the descending d loop re-queries identical
+  /// ranges. Avoided queries are counted in `profile_queries_saved`.
+  /// Off reproduces the legacy one-query-per-cell behaviour; the solution
+  /// is identical either way.
+  bool reuse_equal_stage_devs = true;
   RangeProfileFn profile;
 };
 
@@ -56,6 +74,8 @@ struct StageDpSolution {
   // Search diagnostics.
   std::int64_t dp_cells_visited = 0;
   std::int64_t profile_queries = 0;
+  /// Queries avoided by the equal-stage_devs reuse (see StageDpInput).
+  std::int64_t profile_queries_saved = 0;
 };
 
 /// Algorithm 1 (form_stage_dp). Returns an infeasible solution when

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "tensor/thread_pool.h"
+#include "util/thread_pool.h"
 
 namespace rannc {
 

@@ -1,4 +1,4 @@
-#include "tensor/thread_pool.h"
+#include "util/thread_pool.h"
 
 #include <algorithm>
 
@@ -44,12 +44,33 @@ void ThreadPool::parallel_for(
     return;
   }
   std::lock_guard<std::mutex> serialize(caller_mu_);
+  run_job(begin, end, std::max<std::int64_t>(1, n / (4 * parallelism)), fn);
+}
+
+void ThreadPool::parallel_each(std::int64_t n,
+                               const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const std::function<void(std::int64_t, std::int64_t)> range_fn =
+      [&fn](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) fn(i);
+      };
+  if (workers_.empty()) {
+    range_fn(0, n);
+    return;
+  }
+  std::lock_guard<std::mutex> serialize(caller_mu_);
+  run_job(0, n, /*chunk=*/1, range_fn);
+}
+
+void ThreadPool::run_job(
+    std::int64_t begin, std::int64_t end, std::int64_t chunk,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
   ActiveJob job;
   job.fn = &fn;
   job.end = end;
   job.next = begin;
-  job.chunk = std::max<std::int64_t>(1, n / (4 * parallelism));
-  job.total_chunks = static_cast<int>((n + job.chunk - 1) / job.chunk);
+  job.chunk = chunk;
+  job.total_chunks = static_cast<int>((end - begin + chunk - 1) / chunk);
 
   std::unique_lock<std::mutex> lk(mu_);
   job_ = &job;

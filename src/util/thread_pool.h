@@ -1,6 +1,9 @@
-// Persistent worker pool with a blocking parallel_for. The "devices" of the
-// CPU runtime are stage threads; within a stage, heavy kernels (GEMM, conv)
-// additionally fan out across this pool.
+// Persistent worker pool with a blocking parallel_for, shared by the tensor
+// kernels and the partition-search engine. The "devices" of the CPU runtime
+// are stage threads; within a stage, heavy kernels (GEMM, conv) fan out
+// across the global pool, and the auto-partitioner dispatches its
+// independent (S, MB) stage-DP sweeps onto a dedicated pool sized by
+// PartitionConfig::threads.
 #pragma once
 
 #include <condition_variable>
@@ -33,12 +36,23 @@ class ThreadPool {
   void parallel_for(std::int64_t begin, std::int64_t end,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 
+  /// Runs fn(i) for every i in [0, n), each index as its own work item
+  /// pulled dynamically by the workers (the calling thread participates).
+  /// Unlike parallel_for there is no chunking and no small-n inline
+  /// shortcut: this is meant for a handful of heavyweight, unevenly sized
+  /// jobs — e.g. the partition search's per-(S, MB) stage-DP invocations —
+  /// where each index must be able to run on its own thread.
+  void parallel_each(std::int64_t n,
+                     const std::function<void(std::int64_t)>& fn);
+
  private:
   struct ActiveJob;
   void worker_loop();
+  void run_job(std::int64_t begin, std::int64_t end, std::int64_t chunk,
+               const std::function<void(std::int64_t, std::int64_t)>& fn);
 
   std::mutex mu_;                 // guards everything below
-  std::mutex caller_mu_;          // serializes concurrent parallel_for calls
+  std::mutex caller_mu_;          // serializes concurrent job submissions
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   ActiveJob* job_ = nullptr;

@@ -11,7 +11,7 @@
 #include "runtime/channel.h"
 #include "runtime/optimizer.h"
 #include "runtime/trainer.h"
-#include "tensor/thread_pool.h"
+#include "util/thread_pool.h"
 
 namespace rannc {
 namespace {

@@ -7,7 +7,7 @@
 
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
-#include "tensor/thread_pool.h"
+#include "util/thread_pool.h"
 
 namespace rannc {
 namespace {
@@ -63,6 +63,35 @@ TEST(ThreadPool, EmptyAndTinyRanges) {
     total += static_cast<int>(e - b);
   });
   EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ParallelEachRunsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  ThreadPool::global().parallel_each(257, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  int count = 0;
+  ThreadPool::global().parallel_each(0, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+
+  // Unlike parallel_for, small counts are still dispatched per-index
+  // (each item may be arbitrarily expensive), including n == 1.
+  std::atomic<int> one{0};
+  ThreadPool::global().parallel_each(1, [&](std::int64_t i) {
+    one += static_cast<int>(i) + 1;
+  });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ThreadPool, ParallelEachWorksWithoutWorkers) {
+  ThreadPool solo(0);
+  std::vector<int> hits(17, 0);
+  solo.parallel_each(17, [&](std::int64_t i) {
+    ++hits[static_cast<std::size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
 }
 
 TEST(MatMul, SmallReference) {

@@ -24,6 +24,7 @@
 
 #include "analysis/analysis.h"
 #include "models/bert.h"
+#include "partition/auto_partitioner.h"
 #include "models/gpt2.h"
 #include "models/mlp.h"
 #include "models/resnet.h"
@@ -43,8 +44,10 @@ struct Options {
   std::int64_t batch = 0, input_dim = 0;
   int nodes = 0, devices_per_node = 0;
   std::int64_t batch_size = 0;
+  int threads = 0;
   std::string plan_file;
   std::string dot_file;
+  bool partition = false;
   bool raw_graph = false;
   bool liveness = false;
   bool quiet = false;
@@ -59,6 +62,11 @@ int usage(const char* argv0) {
          "  --depth N --width N --image N --classes N           resnet\n"
          "  --batch N --input-dim N                             mlp\n"
          "Actions:\n"
+         "  --partition    run auto_partition on the model and print the\n"
+         "                 plan summary plus search statistics\n"
+         "  --threads N    worker threads for the partition search (0 =\n"
+         "                 RANNC_THREADS env, else 1); plans are identical\n"
+         "                 at any thread count\n"
          "  --plan FILE    validate a plan JSON against the model graph\n"
          "  --raw-graph    validate the plan against the builder graph\n"
          "                 (default: atomic-rebuilt graph, matching\n"
@@ -212,6 +220,24 @@ int run(const Options& o) {
     bad = bad || !violations.empty();
   }
 
+  if (o.partition) {
+    PartitionConfig cfg;
+    if (o.nodes) cfg.cluster.num_nodes = o.nodes;
+    if (o.devices_per_node) cfg.cluster.devices_per_node = o.devices_per_node;
+    if (o.batch_size) cfg.batch_size = o.batch_size;
+    cfg.threads = o.threads;
+    const PartitionResult r = auto_partition(g, cfg);
+    std::cout << describe(r);
+    std::cout << "search: " << r.stats.threads_used << " thread(s), "
+              << r.stats.dp_invocations << " DP invocations, "
+              << r.stats.dp_cells_visited << " cells, "
+              << r.stats.profile_queries << " profile queries ("
+              << r.stats.profile_queries_saved << " saved in-DP, memo hit rate "
+              << r.stats.memo_hit_rate() << "), " << r.stats.search_seconds
+              << "s sweep / " << r.stats.wall_seconds << "s total\n";
+    bad = bad || !r.feasible;
+  }
+
   if (!o.quiet)
     std::cout << (bad ? "FAIL" : "OK") << ": " << count_errors(ds)
               << " errors, " << ds.size() - count_errors(ds)
@@ -260,6 +286,10 @@ int main(int argc, char** argv) {
       std::int64_t n = 0;
       ok = num(n);
       o.devices_per_node = static_cast<int>(n);
+    } else if (a == "--threads") {
+      std::int64_t n = 0;
+      ok = num(n);
+      o.threads = static_cast<int>(n);
     } else if (a == "--plan") {
       v = need(i);
       if (v) o.plan_file = v;
@@ -268,7 +298,8 @@ int main(int argc, char** argv) {
       v = need(i);
       if (v) o.dot_file = v;
       ok = v != nullptr;
-    } else if (a == "--raw-graph") o.raw_graph = true;
+    } else if (a == "--partition") o.partition = true;
+    else if (a == "--raw-graph") o.raw_graph = true;
     else if (a == "--liveness") o.liveness = true;
     else if (a == "--quiet") o.quiet = true;
     else if (a == "--help" || a == "-h") return usage(argv[0]);
