@@ -11,10 +11,14 @@
 //    memo hit rate, speedup vs the single-threaded unmemoized baseline, and
 //    a bit-identical-plan check across every configuration).
 //
-// Usage: bench_partitioner [--quick] [--out FILE]
+// Usage: bench_partitioner [--quick] [--out FILE] [--trace FILE]
 //   --quick   small geometries, single rep, skip the legacy diagnostic
 //             sections (CI smoke mode)
 //   --out     JSON output path (default BENCH_PARTITIONER.json)
+//   --trace   additionally run one memoized 2-thread search on the first
+//             geometry with the trace recorder attached and write the
+//             Chrome trace-event JSON (search flame view + profile-memo
+//             hit-rate counters) to FILE
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -28,6 +32,8 @@
 #include "models/bert.h"
 #include "models/gpt2.h"
 #include "models/resnet.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "partition/atomic.h"
 #include "partition/auto_partitioner.h"
 #include "partition/block.h"
@@ -148,13 +154,17 @@ int main(int argc, char** argv) {
 
   bool quick = false;
   std::string out_path = "BENCH_PARTITIONER.json";
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--out FILE] [--trace FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -304,10 +314,38 @@ int main(int argc, char** argv) {
     results.push_back(std::move(gr));
   }
 
+  // ---- Optional traced run ------------------------------------------------
+  // One memoized multi-thread search with the recorder attached: a flame
+  // view of the sweep's worker lanes plus the cumulative profile-memo
+  // hit/miss counter series ("profile_memo" counter events).
+  if (!trace_path.empty()) {
+    const Geometry g = make_geometries(quick).front();
+    BuiltModel bm = g.build();
+    obs::set_thread_name("main");
+    obs::TraceRecorder rec;
+    obs::set_recorder(&rec);
+    run_config(bm.graph, g, "traced-memo-t2", 2, /*memo=*/true, /*reps=*/1);
+    obs::set_recorder(nullptr);
+    std::size_t memo_samples = 0;
+    for (const obs::TraceEvent& e : rec.snapshot())
+      if (e.ph == 'C' && e.name == "profile_memo") ++memo_samples;
+    if (!rec.write_json_file(trace_path)) {
+      RANNC_LOG_ERROR("cannot open " << trace_path << " for writing");
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu events, %zu memo hit-rate samples)\n",
+                trace_path.c_str(), rec.event_count(), memo_samples);
+    if (memo_samples == 0) {
+      RANNC_LOG_ERROR("traced memoized run emitted no profile_memo counter "
+                      "events");
+      return 1;
+    }
+  }
+
   // ---- JSON emission ------------------------------------------------------
   std::ofstream os(out_path);
   if (!os) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    RANNC_LOG_ERROR("cannot open " << out_path << " for writing");
     return 1;
   }
   os << "{\n";

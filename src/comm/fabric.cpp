@@ -35,6 +35,8 @@ Fabric::Fabric(const ClusterSpec& spec) : spec_(spec) {
   clock_.assign(static_cast<std::size_t>(R), 0.0);
   sent_.assign(static_cast<std::size_t>(R), 0);
   received_.assign(static_cast<std::size_t>(R), 0);
+  busy_.assign(links_.size(), 0.0);
+  busy_until_.assign(links_.size(), 0.0);
 }
 
 double Fabric::max_clock() const {
@@ -47,6 +49,16 @@ void Fabric::reset() {
   std::fill(clock_.begin(), clock_.end(), 0.0);
   std::fill(sent_.begin(), sent_.end(), std::int64_t{0});
   std::fill(received_.begin(), received_.end(), std::int64_t{0});
+  std::fill(busy_.begin(), busy_.end(), 0.0);
+  std::fill(busy_until_.begin(), busy_until_.end(), 0.0);
+}
+
+void Fabric::set_recorder(obs::TraceRecorder* rec) {
+  rec_ = rec;
+  if (rec_ == nullptr) return;
+  for (LinkId l = 0; l < num_links(); ++l)
+    rec_->set_track_name(obs::Domain::SimFabric, l,
+                         links_[static_cast<std::size_t>(l)].name);
 }
 
 void Fabric::check_rank(Rank r) const {
@@ -108,6 +120,18 @@ std::vector<double> Fabric::run_step(const std::vector<Transfer>& transfers) {
 
   std::vector<int> active_on(links_.size(), 0);
   std::vector<double> rate(n, 0.0);
+  // Per-link bandwidth-share counter series; only materialized when a
+  // recorder is attached.
+  std::vector<int> last_emitted;
+  if (rec_ != nullptr) last_emitted.assign(links_.size(), 0);
+  const auto emit_share = [this](LinkId l, double ts, int active) {
+    const double share =
+        active > 0
+            ? links_[static_cast<std::size_t>(l)].bandwidth / active
+            : 0.0;
+    rec_->counter(obs::Domain::SimFabric, l, "bw_share", ts * 1e6,
+                  "\"bytes_per_s\":" + obs::json_double(share));
+  };
   // Each iteration either finishes >= 1 transfer or jumps to the next
   // activation, so the loop is bounded by 2n events; the cap is a pure
   // float-pathology backstop.
@@ -125,6 +149,13 @@ std::vector<double> Fabric::run_step(const std::vector<Transfer>& transfers) {
       } else {
         next_activation = std::min(next_activation, s.activate);
       }
+    }
+    if (rec_ != nullptr) {
+      for (std::size_t l = 0; l < links_.size(); ++l)
+        if (active_on[l] != last_emitted[l]) {
+          emit_share(static_cast<LinkId>(l), now, active_on[l]);
+          last_emitted[l] = active_on[l];
+        }
     }
     if (!any_active) {
       now = next_activation;
@@ -144,6 +175,14 @@ std::vector<double> Fabric::run_step(const std::vector<Transfer>& transfers) {
       next = std::min(next, now + s.remaining / r);
     }
     const double dt = next - now;
+    for (std::size_t l = 0; l < links_.size(); ++l)
+      if (active_on[l] > 0) {
+        const double lo = std::max(now, busy_until_[l]);
+        if (next > lo) {
+          busy_[l] += next - lo;
+          busy_until_[l] = next;
+        }
+      }
     for (std::size_t i = 0; i < n; ++i) {
       St& s = st[i];
       if (s.done || s.activate > now) continue;
@@ -159,6 +198,23 @@ std::vector<double> Fabric::run_step(const std::vector<Transfer>& transfers) {
   // Backstop: force-finish anything the float loop failed to close.
   for (std::size_t i = 0; i < n; ++i)
     if (!st[i].done) finish[i] = now;
+
+  if (rec_ != nullptr) {
+    // Close out still-open counter series at the step's end.
+    for (std::size_t l = 0; l < links_.size(); ++l)
+      if (last_emitted[l] != 0) emit_share(static_cast<LinkId>(l), now, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Transfer& t = transfers[i];
+      rec_->complete(obs::Domain::SimFabric, st[i].path[0],
+                     "xfer r" + std::to_string(t.src) + "->r" +
+                         std::to_string(t.dst),
+                     "fabric", st[i].activate * 1e6,
+                     (finish[i] - st[i].activate) * 1e6,
+                     "\"src\":" + std::to_string(t.src) +
+                         ",\"dst\":" + std::to_string(t.dst) +
+                         ",\"bytes\":" + obs::json_double(t.bytes));
+    }
+  }
 
   for (std::size_t i = 0; i < n; ++i) {
     const Transfer& t = transfers[i];

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cluster/cluster_spec.h"
+#include "obs/trace.h"
 
 namespace rannc {
 namespace comm {
@@ -68,6 +69,18 @@ class Fabric {
   /// Rewinds all clocks and byte counters to zero.
   void reset();
 
+  /// Attaches a recorder: every transfer becomes a complete span on its
+  /// egress link's SimFabric track, and per-link bandwidth-share counter
+  /// events are emitted whenever a link's active-transfer count changes.
+  /// Also names all link tracks. nullptr detaches.
+  void set_recorder(obs::TraceRecorder* rec);
+
+  /// Virtual seconds link `l` spent with at least one transfer in flight
+  /// (accumulated whether or not a recorder is attached).
+  [[nodiscard]] double link_busy_seconds(LinkId l) const {
+    return busy_[static_cast<std::size_t>(l)];
+  }
+
   struct Transfer {
     Rank src = 0;
     Rank dst = 0;
@@ -107,6 +120,12 @@ class Fabric {
   std::vector<Link> links_;
   std::vector<double> clock_;
   std::vector<std::int64_t> sent_, received_;
+  /// Per-link busy accounting as a union of active intervals: `busy_` is
+  /// the accumulated measure, `busy_until_` the high-water mark, so
+  /// batches whose virtual intervals overlap (per-rank clocks allow that
+  /// across run_step calls) are not double-counted.
+  std::vector<double> busy_, busy_until_;
+  obs::TraceRecorder* rec_ = nullptr;
 };
 
 }  // namespace comm

@@ -1,0 +1,90 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace rannc {
+namespace obs {
+
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "debug";
+    case LogLevel::Info:
+      return "info";
+    case LogLevel::Warn:
+      return "warn";
+    case LogLevel::Error:
+      return "error";
+    case LogLevel::Off:
+      return "off";
+  }
+  return "?";
+}
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("RANNC_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  return parse_log_level(env, LogLevel::Warn);
+}
+
+std::atomic<int>& level_slot() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+std::atomic<LogSink>& sink_slot() {
+  static std::atomic<LogSink> sink{nullptr};
+  return sink;
+}
+
+std::mutex& write_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_slot().load(std::memory_order_relaxed));
+}
+
+LogLevel set_log_level(LogLevel level) {
+  return static_cast<LogLevel>(level_slot().exchange(
+      static_cast<int>(level), std::memory_order_relaxed));
+}
+
+LogLevel parse_log_level(const std::string& s, LogLevel fallback) {
+  std::string t;
+  t.reserve(s.size());
+  for (char c : s) t.push_back(static_cast<char>(std::tolower(
+                       static_cast<unsigned char>(c))));
+  if (t == "debug") return LogLevel::Debug;
+  if (t == "info") return LogLevel::Info;
+  if (t == "warn" || t == "warning") return LogLevel::Warn;
+  if (t == "error") return LogLevel::Error;
+  if (t == "off" || t == "none" || t == "0") return LogLevel::Off;
+  return fallback;
+}
+
+LogSink set_log_sink(LogSink sink) {
+  return sink_slot().exchange(sink, std::memory_order_acq_rel);
+}
+
+void log_write(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lk(write_mu());
+  const LogSink sink = sink_slot().load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    sink(level, msg);
+    return;
+  }
+  std::cerr << "[rannc:" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace obs
+}  // namespace rannc

@@ -1,0 +1,59 @@
+// Leveled logger: the single seam for human-readable diagnostics.
+//
+// The level is read once from the RANNC_LOG environment variable
+// (debug|info|warn|error|off; default warn) and can be overridden with
+// `set_log_level`. Messages go to stderr by default; tests can redirect
+// them with `set_log_sink`.
+//
+// Use the macros — the message expression is only evaluated when the
+// level is enabled:
+//
+//   RANNC_LOG_WARN("stage " << s << " exceeds budget by " << over << "B");
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rannc {
+namespace obs {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Current level (RANNC_LOG at first use unless overridden).
+LogLevel log_level();
+/// Overrides the level; returns the previous one.
+LogLevel set_log_level(LogLevel level);
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive); falls
+/// back to `fallback` on anything else.
+LogLevel parse_log_level(const std::string& s, LogLevel fallback);
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+/// Sink receiving fully formatted lines (without trailing newline).
+using LogSink = void (*)(LogLevel, const std::string&);
+/// Replaces the sink (nullptr restores the default stderr sink); returns
+/// the previous sink, or nullptr if the default was active.
+LogSink set_log_sink(LogSink sink);
+
+/// Formats "[rannc:<level>] <msg>" and hands it to the sink. Serialized
+/// by an internal mutex so concurrent lines never interleave.
+void log_write(LogLevel level, const std::string& msg);
+
+}  // namespace obs
+}  // namespace rannc
+
+#define RANNC_LOG_AT(level, expr)                              \
+  do {                                                         \
+    if (::rannc::obs::log_enabled(level)) {                    \
+      std::ostringstream rannc_log_os_;                        \
+      rannc_log_os_ << expr;                                   \
+      ::rannc::obs::log_write(level, rannc_log_os_.str());     \
+    }                                                          \
+  } while (0)
+
+#define RANNC_LOG_DEBUG(expr) RANNC_LOG_AT(::rannc::obs::LogLevel::Debug, expr)
+#define RANNC_LOG_INFO(expr) RANNC_LOG_AT(::rannc::obs::LogLevel::Info, expr)
+#define RANNC_LOG_WARN(expr) RANNC_LOG_AT(::rannc::obs::LogLevel::Warn, expr)
+#define RANNC_LOG_ERROR(expr) RANNC_LOG_AT(::rannc::obs::LogLevel::Error, expr)

@@ -1,0 +1,163 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "obs/trace.h"  // json_double / json_string
+
+namespace rannc {
+namespace obs {
+
+namespace {
+
+/// Bucket index for a value: 0 = underflow (< 2^kMinExp), then one bucket
+/// per binary exponent, last = overflow (>= 2^kMaxExp). Non-positive and
+/// non-finite values land in the underflow bucket.
+int bucket_index(double v) {
+  if (!(v > 0) || !std::isfinite(v)) return 0;
+  const int e = static_cast<int>(std::floor(std::log2(v)));
+  if (e < Histogram::kMinExp) return 0;
+  if (e >= Histogram::kMaxExp) return Histogram::kNumBuckets - 1;
+  return e - Histogram::kMinExp + 1;
+}
+
+}  // namespace
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++bucket_[bucket_index(v)];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  std::int64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cum += bucket_[i];
+    if (bucket_[i] == 0) continue;
+    const double le = i == kNumBuckets - 1
+                          ? std::numeric_limits<double>::infinity()
+                          : std::ldexp(1.0, kMinExp + i);
+    s.buckets.emplace_back(le, cum);
+  }
+  // Terminal +inf bucket (Prometheus-style), even when overflow is empty.
+  if (count_ > 0 &&
+      (s.buckets.empty() || std::isfinite(s.buckets.back().first)))
+    s.buckets.emplace_back(std::numeric_limits<double>::infinity(), cum);
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+  for (std::int64_t& b : bucket_) b = 0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+  // Copy the instrument pointers under the lock, then read their values
+  // without it (instruments are individually thread-safe).
+  std::vector<std::pair<std::string, const Counter*>> cs;
+  std::vector<std::pair<std::string, const Gauge*>> gs;
+  std::vector<std::pair<std::string, const Histogram*>> hs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [n, c] : counters_) cs.emplace_back(n, c.get());
+    for (const auto& [n, g] : gauges_) gs.emplace_back(n, g.get());
+    for (const auto& [n, h] : histograms_) hs.emplace_back(n, h.get());
+  }
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    os << (i ? "," : "") << "\n    " << json_string(cs[i].first) << ": "
+       << cs[i].second->get();
+  os << (cs.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gs.size(); ++i)
+    os << (i ? "," : "") << "\n    " << json_string(gs[i].first) << ": "
+       << json_double(gs[i].second->get());
+  os << (gs.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    const Histogram::Snapshot s = hs[i].second->snapshot();
+    os << (i ? "," : "") << "\n    " << json_string(hs[i].first)
+       << ": {\"count\": " << s.count << ", \"sum\": " << json_double(s.sum)
+       << ", \"min\": " << json_double(s.min)
+       << ", \"max\": " << json_double(s.max) << ", \"buckets\": [";
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+      const bool inf = !std::isfinite(s.buckets[b].first);
+      os << (b ? "," : "") << "{\"le\": "
+         << (inf ? std::string("\"inf\"") : json_double(s.buckets[b].first))
+         << ", \"count\": " << s.buckets[b].second << "}";
+    }
+    os << "]}";
+  }
+  os << (hs.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_json();
+  return static_cast<bool>(os);
+}
+
+void MetricsRegistry::reset() {
+  std::vector<Counter*> cs;
+  std::vector<Gauge*> gs;
+  std::vector<Histogram*> hs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [n, c] : counters_) cs.push_back(c.get());
+    for (auto& [n, g] : gauges_) gs.push_back(g.get());
+    for (auto& [n, h] : histograms_) hs.push_back(h.get());
+  }
+  for (Counter* c : cs) c->reset();
+  for (Gauge* g : gs) g->reset();
+  for (Histogram* h : hs) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
+  return *reg;
+}
+
+}  // namespace obs
+}  // namespace rannc

@@ -15,6 +15,8 @@
 
 #include "analysis/verifier.h"
 #include "comm/oracle.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/atomic.h"
 #include "partition/profile_memo.h"
 #include "util/thread_pool.h"
@@ -292,15 +294,24 @@ PartitionResult auto_partition(const TaskGraph& model,
                                const PartitionConfig& cfg) {
   const auto t0 = std::chrono::steady_clock::now();
   PartitionResult res;
+  obs::Scope sc_all("auto_partition");
 
   // Static-analysis gate (src/analysis): a malformed graph or a builder
   // shape bug silently skews the roofline profile, block balance and stage
   // DP, so reject it before any partitioning work. O(V+E) — negligible
   // next to the search itself.
-  verify_or_throw(model);
+  {
+    obs::Scope sc("verify");
+    verify_or_throw(model);
+  }
 
   // Phase 1: atomic-level partitioning.
-  auto ap = std::make_shared<AtomicPartition>(atomic_partition(model));
+  std::shared_ptr<AtomicPartition> ap;
+  {
+    obs::Scope sc("phase1:atomic_partition");
+    ap = std::make_shared<AtomicPartition>(atomic_partition(model));
+    sc.arg("components", ap->comps.size());
+  }
   GraphProfiler prof(ap->graph, cfg.cluster.device, cfg.precision);
   res.stats.atomic_components = ap->comps.size();
   res.stats.cloned_constant_tasks = ap->num_cloned_tasks;
@@ -312,28 +323,33 @@ PartitionResult auto_partition(const TaskGraph& model,
 
   // Phase 2: block-level partitioning (skipped by the ablation variant).
   std::vector<std::vector<TaskId>> unit_tasks;
-  if (cfg.use_coarsening) {
-    BlockPartitionConfig bcfg;
-    bcfg.k = cfg.num_blocks;
-    bcfg.device_memory = M;
-    // Balance blocks at the smallest microbatch size a stage replica can
-    // see. Per-op overheads weigh most at batch 1, so blocks equalized
-    // there only get more even as the batch grows compute-bound — whereas
-    // blocks balanced at a large batch can be badly skewed at microbatch 1,
-    // which is exactly the regime the very largest models run in (many
-    // stages, many microbatches).
-    bcfg.profile_batch = 1;
-    BlockPartition bp = block_partition(*ap, prof, bcfg);
-    res.stats.blocks = static_cast<int>(bp.blocks.size());
-    res.stats.coarsen_levels = bp.coarsen_levels;
-    res.stats.uncoarsen_moves = bp.uncoarsen_moves;
-    res.stats.compaction_merges = bp.compaction_merges;
-    unit_tasks.reserve(bp.blocks.size());
-    for (Block& b : bp.blocks) unit_tasks.push_back(std::move(b.tasks));
-  } else {
-    unit_tasks.reserve(ap->comps.size());
-    for (const AtomicComponent& c : ap->comps) unit_tasks.push_back(c.tasks);
-    res.stats.blocks = static_cast<int>(unit_tasks.size());
+  {
+    obs::Scope sc("phase2:block_partition");
+    if (cfg.use_coarsening) {
+      BlockPartitionConfig bcfg;
+      bcfg.k = cfg.num_blocks;
+      bcfg.device_memory = M;
+      // Balance blocks at the smallest microbatch size a stage replica can
+      // see. Per-op overheads weigh most at batch 1, so blocks equalized
+      // there only get more even as the batch grows compute-bound — whereas
+      // blocks balanced at a large batch can be badly skewed at microbatch
+      // 1, which is exactly the regime the very largest models run in
+      // (many stages, many microbatches).
+      bcfg.profile_batch = 1;
+      BlockPartition bp = block_partition(*ap, prof, bcfg);
+      res.stats.blocks = static_cast<int>(bp.blocks.size());
+      res.stats.coarsen_levels = bp.coarsen_levels;
+      res.stats.uncoarsen_moves = bp.uncoarsen_moves;
+      res.stats.compaction_merges = bp.compaction_merges;
+      unit_tasks.reserve(bp.blocks.size());
+      for (Block& b : bp.blocks) unit_tasks.push_back(std::move(b.tasks));
+    } else {
+      unit_tasks.reserve(ap->comps.size());
+      for (const AtomicComponent& c : ap->comps)
+        unit_tasks.push_back(c.tasks);
+      res.stats.blocks = static_cast<int>(unit_tasks.size());
+    }
+    sc.arg("blocks", res.stats.blocks);
   }
 
   UnitSequence seq(*ap, prof, std::move(unit_tasks),
@@ -371,7 +387,10 @@ PartitionResult auto_partition(const TaskGraph& model,
   res.stats.threads_used = threads;
   const auto t_search0 = std::chrono::steady_clock::now();
 
-  seq.prebuild_times(enumerate_bsizes(BS, N_nodes, Dnode));
+  {
+    obs::Scope sc("phase3:prebuild_times");
+    seq.prebuild_times(enumerate_bsizes(BS, N_nodes, Dnode));
+  }
   std::optional<ProfileMemo> memo;
   RangeProfileFn sweep_fn = search_fn;
   if (cfg.profile_memo) {
@@ -386,6 +405,10 @@ PartitionResult auto_partition(const TaskGraph& model,
   bool aborted = false;
   Candidate best;
   bool found = false;
+  // unique_ptr rather than a block scope: the sweep loop both writes the
+  // locals above and feeds the aggregation below.
+  auto sweep_scope = std::make_unique<obs::Scope>("phase3:stage_dp_sweep");
+  sweep_scope->arg("threads", threads);
   for (int n = 1; n <= N_nodes && !found && !aborted; n *= 2) {
     const int D = Dnode * n;
     const int R = N_nodes / n;
@@ -407,6 +430,13 @@ PartitionResult auto_partition(const TaskGraph& model,
 
     const auto run_job = [&](std::int64_t i) {
       const SweepJob& j = jobs[static_cast<std::size_t>(i)];
+      obs::Scope sc(
+          [&] {
+            return "job n=" + std::to_string(n) +
+                   " S=" + std::to_string(j.S) +
+                   " MB=" + std::to_string(j.MB);
+          },
+          "sweep");
       StageDpInput in;
       in.num_units = seq.size();
       in.num_stages = j.S;
@@ -420,10 +450,14 @@ PartitionResult auto_partition(const TaskGraph& model,
       in.reuse_equal_stage_devs = cfg.profile_memo;
       in.profile = sweep_fn;
       StageDpSolution sol = form_stage_dp(in);
-      if (sol.feasible)
+      sc.arg("feasible", static_cast<int>(sol.feasible));
+      sc.arg("dp_cells", sol.dp_cells_visited);
+      if (sol.feasible) {
         ests[static_cast<std::size_t>(i)] =
             estimate_iteration(seq, sweep_fn, cfg.cluster, cfg.precision,
                                sol, BS, R, j.MB);
+        sc.arg("est_iter", ests[static_cast<std::size_t>(i)]);
+      }
       sols[static_cast<std::size_t>(i)] = std::move(sol);
     };
     if (pool) {
@@ -478,6 +512,7 @@ PartitionResult auto_partition(const TaskGraph& model,
       found = true;
     }
   }
+  sweep_scope.reset();
   // Defensive: candidates are pushed in (n, S, MB) order above; keep the
   // documented ordering guarantee even if a future refactor perturbs it.
   std::sort(res.stats.candidates.begin(), res.stats.candidates.end(),
@@ -497,6 +532,30 @@ PartitionResult auto_partition(const TaskGraph& model,
   res.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+
+  // Publish the search's quantitative story to the metrics registry
+  // (always on — one mutex-guarded lookup per metric per partition call).
+  {
+    obs::MetricsRegistry& m = obs::metrics();
+    m.counter("partition.dp_invocations").add(res.stats.dp_invocations);
+    m.counter("partition.dp_cells_visited").add(res.stats.dp_cells_visited);
+    m.counter("partition.profile_queries").add(res.stats.profile_queries);
+    m.counter("partition.profile_queries_saved")
+        .add(res.stats.profile_queries_saved);
+    m.counter("partition.memo_hits").add(res.stats.memo_hits);
+    m.counter("partition.memo_misses").add(res.stats.memo_misses);
+    const std::int64_t lookups = res.stats.memo_hits + res.stats.memo_misses;
+    if (lookups > 0)
+      m.gauge("partition.memo_hit_rate")
+          .set(static_cast<double>(res.stats.memo_hits) /
+               static_cast<double>(lookups));
+    m.gauge("partition.search_seconds").set(res.stats.search_seconds);
+    m.gauge("partition.wall_seconds").set(res.stats.wall_seconds);
+    obs::Histogram& h = m.histogram("partition.candidate_est_iter");
+    for (const CandidateTrace& c : res.stats.candidates)
+      if (c.feasible) h.record(c.est_iteration);
+  }
+
   res.graph = std::shared_ptr<const TaskGraph>(ap, &ap->graph);
   if (!found) {
     res.feasible = false;
@@ -541,6 +600,14 @@ PartitionResult auto_partition(const TaskGraph& model,
     mb = std::max(mb, sp.t_b);
   }
   res.bottleneck_value = mf + mb;
+  {
+    obs::MetricsRegistry& m = obs::metrics();
+    for (std::size_t i = 0; i < res.stages.size(); ++i)
+      m.gauge("plan.stage" + std::to_string(i) + ".mem_bytes")
+          .set(static_cast<double>(res.stages[i].mem));
+    m.gauge("plan.est_iteration_time").set(res.est_iteration_time);
+    m.gauge("plan.bottleneck_value").set(res.bottleneck_value);
+  }
   return res;
 }
 

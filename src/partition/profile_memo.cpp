@@ -1,6 +1,21 @@
 #include "partition/profile_memo.h"
 
+#include <string>
+
+#include "obs/trace.h"
+
 namespace rannc {
+
+void ProfileMemo::trace_progress() const {
+  obs::TraceRecorder* rec = obs::recorder();
+  if (rec == nullptr) return;
+  const std::int64_t h = hits();
+  const std::int64_t m = misses();
+  if ((h + m) % kTraceEvery != 0) return;
+  rec->counter(obs::Domain::Search, 0, "profile_memo", rec->now_us(),
+               "\"hits\":" + std::to_string(h) +
+                   ",\"misses\":" + std::to_string(m));
+}
 
 RangeProfileFn ProfileMemo::fn() {
   return [this](int lo, int hi, std::int64_t bsize, int microbatches,
@@ -19,10 +34,19 @@ StageProfile ProfileMemo::lookup(int lo, int hi, std::int64_t bsize,
   k.checkpointing = num_stages > 1;
   Shard& sh = shards_[KeyHash{}(k) % kShards];
   {
-    std::lock_guard<std::mutex> lk(sh.mu);
-    if (auto it = sh.map.find(k); it != sh.map.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+    bool hit = false;
+    StageProfile cached;
+    {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      if (auto it = sh.map.find(k); it != sh.map.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        cached = it->second;
+        hit = true;
+      }
+    }
+    if (hit) {
+      trace_progress();
+      return cached;
     }
   }
   // Compute outside the shard lock: the base fn may take its own locks
@@ -31,6 +55,7 @@ StageProfile ProfileMemo::lookup(int lo, int hi, std::int64_t bsize,
   // the second emplace is a no-op.
   misses_.fetch_add(1, std::memory_order_relaxed);
   const StageProfile p = base_(lo, hi, bsize, microbatches, num_stages);
+  trace_progress();
   std::lock_guard<std::mutex> lk(sh.mu);
   return sh.map.emplace(k, p).first->second;
 }

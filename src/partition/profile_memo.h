@@ -79,6 +79,10 @@ class ProfileMemo {
 
   StageProfile lookup(int lo, int hi, std::int64_t bsize, int microbatches,
                       int num_stages);
+  /// Emits a cumulative hit/miss counter event every kTraceEvery lookups
+  /// when a trace recorder is attached.
+  void trace_progress() const;
+  static constexpr std::int64_t kTraceEvery = 256;
 
   RangeProfileFn base_;
   Shard shards_[kShards];

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace rannc {
 
@@ -22,6 +25,14 @@ StageDpSolution form_stage_dp(const StageDpInput& in) {
   StageDpSolution sol;
   if (S <= 0 || N <= 0 || D <= 0 || S > N || S > D || !in.profile)
     return sol;
+
+  obs::Scope sc(
+      [&] {
+        return "form_stage_dp S=" + std::to_string(S) +
+               " N=" + std::to_string(N) + " D=" + std::to_string(D);
+      },
+      "dp");
+  sc.arg("microbatches", in.microbatches);
 
   // V[s][b][d]: best bottleneck value using s stages over the first b units
   // with d devices. tf/tb track the bottleneck components; bp_* are

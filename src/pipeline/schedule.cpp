@@ -173,25 +173,40 @@ ScheduleResult simulate_1f1b_sync(const std::vector<StageTimes>& stages,
   return res;
 }
 
+std::vector<obs::TimelineSpan> schedule_spans(const ScheduleResult& res) {
+  std::vector<obs::TimelineSpan> spans;
+  spans.reserve(res.intervals.size());
+  for (const ScheduleInterval& iv : res.intervals) {
+    obs::TimelineSpan sp;
+    sp.track = iv.stage;
+    sp.glyph = iv.backward ? 'B' : 'F';
+    sp.name = (iv.backward ? "B mb " : "F mb ") + std::to_string(iv.microbatch);
+    sp.start = iv.start;
+    sp.end = iv.end;
+    sp.args = "\"stage\":" + std::to_string(iv.stage) +
+              ",\"microbatch\":" + std::to_string(iv.microbatch) +
+              ",\"backward\":" + (iv.backward ? "true" : "false");
+    spans.push_back(std::move(sp));
+  }
+  return spans;
+}
+
 std::string render_gantt(const ScheduleResult& res, int num_stages,
                          int width) {
-  std::ostringstream os;
   if (res.intervals.empty() || res.iteration_time <= 0) return "";
-  const double scale = static_cast<double>(width) / res.iteration_time;
-  for (int s = 0; s < num_stages; ++s) {
-    std::string row(static_cast<std::size_t>(width), '.');
-    for (const ScheduleInterval& iv : res.intervals) {
-      if (iv.stage != s) continue;
-      int a = static_cast<int>(std::floor(iv.start * scale));
-      int b = static_cast<int>(std::ceil(iv.end * scale));
-      a = std::clamp(a, 0, width - 1);
-      b = std::clamp(b, a + 1, width);
-      const char glyph = iv.backward ? 'B' : 'F';
-      for (int i = a; i < b; ++i) row[static_cast<std::size_t>(i)] = glyph;
-    }
-    os << "stage " << s << " |" << row << "|\n";
-  }
-  return os.str();
+  return obs::render_ascii_timeline(schedule_spans(res), num_stages, "stage ",
+                                    res.iteration_time, width);
+}
+
+void trace_schedule(obs::TraceRecorder& rec, const ScheduleResult& res,
+                    int num_stages) {
+  for (int s = 0; s < num_stages; ++s)
+    rec.set_track_name(obs::Domain::SimSchedule, s,
+                       "stage " + std::to_string(s));
+  obs::record_spans(rec, obs::Domain::SimSchedule, "schedule",
+                    schedule_spans(res));
+  rec.counter(obs::Domain::SimSchedule, 0, "bubble_fraction", 0.0,
+              "\"bubble_fraction\":" + obs::json_double(res.bubble_fraction));
 }
 
 }  // namespace rannc

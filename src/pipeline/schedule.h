@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace rannc {
 
 /// Per-microbatch timing of one pipeline stage.
@@ -63,8 +65,19 @@ ScheduleResult simulate_1f1b_async(const std::vector<StageTimes>& stages,
 ScheduleResult simulate_1f1b_sync(const std::vector<StageTimes>& stages,
                                   int microbatches);
 
+/// Converts a schedule's intervals into generic timeline spans (track =
+/// stage, glyph F/B, virtual-time seconds) — the single interval walk
+/// shared by the ASCII Gantt renderer and the trace recorder.
+std::vector<obs::TimelineSpan> schedule_spans(const ScheduleResult& res);
+
 /// Renders intervals as an ASCII Gantt chart, one row per stage.
 std::string render_gantt(const ScheduleResult& res, int num_stages,
                          int width = 100);
+
+/// Records the schedule into the recorder's virtual-time SimSchedule
+/// domain: one track per stage (named "stage <s>"), one complete span per
+/// interval, plus a bubble-fraction counter at t=0.
+void trace_schedule(obs::TraceRecorder& rec, const ScheduleResult& res,
+                    int num_stages);
 
 }  // namespace rannc

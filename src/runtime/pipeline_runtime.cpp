@@ -5,8 +5,11 @@
 #include <exception>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "runtime/trainer.h"
 
 namespace rannc {
@@ -258,10 +261,14 @@ float PipelineTrainer::step(const std::vector<TensorMap>& microbatches) {
   std::mutex error_mu;
   std::vector<std::thread> threads;
   threads.reserve(stages_.size());
-  for (Stage& st : stages_)
-    threads.emplace_back([this, &st, &microbatches, &loss_sum, &error,
+  for (std::size_t si = 0; si < stages_.size(); ++si) {
+    Stage& st = stages_[si];
+    threads.emplace_back([this, si, &st, &microbatches, &loss_sum, &error,
                           &error_mu] {
+      obs::set_thread_name("stage-" + std::to_string(si));
       try {
+        obs::Scope sc(
+            [si] { return "run_stage " + std::to_string(si); }, "runtime");
         run_stage(st, microbatches, st.owns_loss ? &loss_sum : nullptr);
       } catch (const PipelineAborted&) {
         // A peer already failed and closed the endpoints; nothing to record.
@@ -270,9 +277,12 @@ float PipelineTrainer::step(const std::vector<TensorMap>& microbatches) {
           std::lock_guard<std::mutex> lk(error_mu);
           if (!error) error = std::current_exception();
         }
+        RANNC_LOG_ERROR("pipeline stage " << si
+                                          << " failed; aborting pipeline");
         abort_pipeline();
       }
     });
+  }
   for (std::thread& t : threads) t.join();
   collect_comm_reports();
   if (error) std::rethrow_exception(error);

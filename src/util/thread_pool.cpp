@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace rannc {
 
@@ -16,7 +19,10 @@ struct ThreadPool::ActiveJob {
 ThreadPool::ThreadPool(unsigned threads) {
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      obs::set_thread_name("pool-worker-" + std::to_string(i));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

@@ -24,6 +24,7 @@
 
 #include "analysis/analysis.h"
 #include "models/bert.h"
+#include "obs/log.h"
 #include "partition/auto_partitioner.h"
 #include "models/gpt2.h"
 #include "models/mlp.h"
@@ -190,7 +191,7 @@ int run(const Options& o) {
   if (!o.plan_file.empty()) {
     std::ifstream in(o.plan_file);
     if (!in) {
-      std::cerr << "cannot open plan file '" << o.plan_file << "'\n";
+      RANNC_LOG_ERROR("cannot open plan file '" << o.plan_file << "'");
       return 2;
     }
     std::stringstream buf;
@@ -316,7 +317,7 @@ int main(int argc, char** argv) {
   try {
     return run(o);
   } catch (const std::exception& e) {
-    std::cerr << "rannc-lint: " << e.what() << '\n';
+    RANNC_LOG_ERROR("rannc-lint: " << e.what());
     return 2;
   }
 }

@@ -1,0 +1,299 @@
+// rannc-trace — observability CLI: runs a builder model through the
+// partition search and a simulated execution of the winning plan, and
+// writes both observability artifacts:
+//
+//   trace.json    Chrome trace-event timeline (open in chrome://tracing or
+//                 https://ui.perfetto.dev). Three processes:
+//                   pid 1  "search (wall clock)"        — partition phases,
+//                          per-thread stage-DP job lanes, memo counters
+//                   pid 2  "pipeline schedule (virtual time)" — per-stage
+//                          F/B intervals of the simulated GPipe schedule
+//                   pid 3  "comm fabric (virtual time)" — per-link transfer
+//                          spans and bandwidth-share counters
+//   metrics.json  counters/gauges/histograms snapshot (dp cells, memo hit
+//                 rate, bubble fraction, per-link busy fractions, ...)
+//
+//   rannc-trace --model bert --layers 8 --trace trace.json --metrics metrics.json
+//
+// The virtual-time (pid 2/3) events are deterministic: bit-identical across
+// runs and RANNC_THREADS values.
+#include <cstdint>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "comm/fabric.h"
+#include "models/bert.h"
+#include "models/gpt2.h"
+#include "models/mlp.h"
+#include "models/resnet.h"
+#include "models/t5.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "partition/auto_partitioner.h"
+#include "pipeline/schedule.h"
+
+namespace {
+
+using namespace rannc;
+
+struct Options {
+  std::string model;
+  std::int64_t layers = 0, hidden = 0, seq = 0, vocab = 0, heads = 0;
+  std::int64_t depth = 0, width = 0, image = 0, classes = 0;
+  std::int64_t batch = 0, input_dim = 0;
+  int nodes = 0, devices_per_node = 0;
+  std::int64_t batch_size = 0;
+  int threads = 0;
+  std::string trace_file = "trace.json";
+  std::string metrics_file = "metrics.json";
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "Usage: " << argv0
+      << " --model <mlp|bert|gpt2|t5|resnet> [options]\n"
+         "Model options (0/unset = the builder's default):\n"
+         "  --layers N --hidden N --seq N --vocab N --heads N   transformers\n"
+         "  --depth N --width N --image N --classes N           resnet\n"
+         "  --batch N --input-dim N                             mlp\n"
+         "Cluster / search:\n"
+         "  --nodes N --devices-per-node N --batch-size N\n"
+         "  --threads N    worker threads for the search (0 = RANNC_THREADS\n"
+         "                 env, else 1); virtual-time trace events are\n"
+         "                 bit-identical at any thread count\n"
+         "Outputs:\n"
+         "  --trace FILE   Chrome trace-event JSON (default trace.json)\n"
+         "  --metrics FILE metrics snapshot JSON (default metrics.json)\n"
+         "  --quiet        suppress the summary on stdout\n";
+  return 2;
+}
+
+BuiltModel build(const Options& o) {
+  if (o.model == "mlp") {
+    MlpConfig c;
+    if (o.input_dim) c.input_dim = o.input_dim;
+    if (o.batch) c.batch = o.batch;
+    if (o.classes) c.num_classes = o.classes;
+    if (o.hidden) c.hidden_dims.assign(o.layers ? o.layers : 2, o.hidden);
+    return build_mlp(c);
+  }
+  if (o.model == "bert") {
+    BertConfig c;
+    if (o.hidden) c.hidden = o.hidden;
+    if (o.layers) c.layers = o.layers;
+    if (o.seq) c.seq_len = o.seq;
+    if (o.vocab) c.vocab = o.vocab;
+    if (o.heads) c.heads = o.heads;
+    return build_bert(c);
+  }
+  if (o.model == "gpt2") {
+    Gpt2Config c;
+    if (o.hidden) c.hidden = o.hidden;
+    if (o.layers) c.layers = o.layers;
+    if (o.seq) c.seq_len = o.seq;
+    if (o.vocab) c.vocab = o.vocab;
+    if (o.heads) c.heads = o.heads;
+    return build_gpt2(c);
+  }
+  if (o.model == "t5") {
+    T5Config c;
+    if (o.hidden) c.hidden = o.hidden;
+    if (o.layers) c.layers = o.layers;
+    if (o.seq) c.seq_len = o.seq;
+    if (o.vocab) c.vocab = o.vocab;
+    if (o.heads) c.heads = o.heads;
+    return build_t5(c);
+  }
+  if (o.model == "resnet") {
+    ResNetConfig c;
+    if (o.depth) c.depth = static_cast<int>(o.depth);
+    if (o.width) c.width_factor = o.width;
+    if (o.image) c.image_size = o.image;
+    if (o.classes) c.num_classes = o.classes;
+    return build_resnet(c);
+  }
+  throw std::invalid_argument("unknown model '" + o.model + "'");
+}
+
+/// Replays the plan's communication pattern on the discrete-event fabric:
+/// per-microbatch activations between adjacent stages (replica 0, first
+/// device of each stage) followed by each stage's gradient all-reduce ring
+/// across its devices and pipeline replicas. All virtual time; events land
+/// on the recorder's per-link SimFabric tracks.
+void replay_fabric(obs::TraceRecorder& rec, const PartitionResult& plan,
+                   const ClusterSpec& cluster) {
+  comm::Fabric fabric(cluster);
+  fabric.set_recorder(&rec);
+
+  const int S = static_cast<int>(plan.stages.size());
+  const int R = plan.pipelines;
+  // Devices of one pipeline replica are contiguous; stages are laid out in
+  // order inside the replica block.
+  std::vector<int> offset(static_cast<std::size_t>(S) + 1, 0);
+  for (int s = 0; s < S; ++s)
+    offset[static_cast<std::size_t>(s) + 1] =
+        offset[static_cast<std::size_t>(s)] +
+        plan.stages[static_cast<std::size_t>(s)].devices;
+  const int D = offset[static_cast<std::size_t>(S)];  // devices per replica
+
+  // Forward activations stage s -> s+1, one transfer per microbatch.
+  for (int j = 0; j < plan.microbatches; ++j)
+    for (int s = 0; s + 1 < S; ++s) {
+      const std::int64_t bytes =
+          plan.stages[static_cast<std::size_t>(s)].comm_out_bytes;
+      if (bytes <= 0) continue;
+      fabric.p2p(offset[static_cast<std::size_t>(s)],
+                 offset[static_cast<std::size_t>(s) + 1], bytes);
+    }
+
+  // Per-stage gradient all-reduce across all replicas of the stage.
+  for (int s = 0; s < S; ++s) {
+    const StagePlan& sp = plan.stages[static_cast<std::size_t>(s)];
+    std::vector<comm::Rank> ring;
+    for (int r = 0; r < R; ++r)
+      for (int d = 0; d < sp.devices; ++d)
+        ring.push_back(r * D + offset[static_cast<std::size_t>(s)] + d);
+    if (ring.size() > 1) fabric.ring_allreduce(ring, sp.param_bytes);
+  }
+
+  obs::MetricsRegistry& m = obs::metrics();
+  const double horizon = fabric.max_clock();
+  m.gauge("fabric.virtual_seconds").set(horizon);
+  if (horizon > 0)
+    for (comm::LinkId l = 0; l < fabric.num_links(); ++l)
+      if (fabric.link_busy_seconds(l) > 0)
+        m.gauge("fabric." + fabric.link(l).name + ".busy_fraction")
+            .set(fabric.link_busy_seconds(l) / horizon);
+  fabric.set_recorder(nullptr);
+}
+
+int run(const Options& o) {
+  obs::set_thread_name("main");
+  obs::TraceRecorder rec;
+  obs::set_recorder(&rec);
+
+  const BuiltModel m = build(o);
+
+  PartitionConfig cfg;
+  if (o.nodes) cfg.cluster.num_nodes = o.nodes;
+  if (o.devices_per_node) cfg.cluster.devices_per_node = o.devices_per_node;
+  if (o.batch_size) cfg.batch_size = o.batch_size;
+  cfg.threads = o.threads;
+  const PartitionResult plan = auto_partition(m.graph, cfg);
+  if (!o.quiet) std::cout << describe(plan);
+
+  if (plan.feasible) {
+    // Virtual-time replay of the winning plan: simulated GPipe schedule on
+    // the SimSchedule tracks, then the communication pattern on the
+    // SimFabric link tracks.
+    obs::Scope sc("simulate_plan", "sim");
+    const int S = static_cast<int>(plan.stages.size());
+    std::vector<StageTimes> st(static_cast<std::size_t>(S));
+    for (int s = 0; s < S; ++s) {
+      const StagePlan& sp = plan.stages[static_cast<std::size_t>(s)];
+      // Boundary comm is folded into t_f / t_b, matching the search's h().
+      st[static_cast<std::size_t>(s)] = {sp.t_f, sp.t_b, 0.0};
+    }
+    const ScheduleResult sched = simulate_gpipe(st, plan.microbatches);
+    trace_schedule(rec, sched, S);
+    obs::MetricsRegistry& mreg = obs::metrics();
+    mreg.gauge("sim.iteration_time").set(sched.iteration_time);
+    mreg.gauge("sim.bubble_fraction").set(sched.bubble_fraction);
+    replay_fabric(rec, plan, cfg.cluster);
+  } else {
+    RANNC_LOG_WARN("partition infeasible (" << plan.infeasible_reason
+                                            << "); trace has search events "
+                                               "only");
+  }
+
+  obs::set_recorder(nullptr);
+  if (!rec.write_json_file(o.trace_file)) {
+    RANNC_LOG_ERROR("cannot write trace file '" << o.trace_file << "'");
+    return 2;
+  }
+  if (!obs::metrics().write_json_file(o.metrics_file)) {
+    RANNC_LOG_ERROR("cannot write metrics file '" << o.metrics_file << "'");
+    return 2;
+  }
+  if (!o.quiet)
+    std::cout << "wrote " << o.trace_file << " (" << rec.event_count()
+              << " events) and " << o.metrics_file << "\n";
+  return plan.feasible ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    auto num = [&](std::int64_t& dst) {
+      v = need(i);
+      if (v) dst = std::stoll(v);
+      return v != nullptr;
+    };
+    bool ok = true;
+    if (a == "--model") {
+      v = need(i);
+      if (v) o.model = v;
+      ok = v != nullptr;
+    } else if (a == "--layers") ok = num(o.layers);
+    else if (a == "--hidden") ok = num(o.hidden);
+    else if (a == "--seq") ok = num(o.seq);
+    else if (a == "--vocab") ok = num(o.vocab);
+    else if (a == "--heads") ok = num(o.heads);
+    else if (a == "--depth") ok = num(o.depth);
+    else if (a == "--width") ok = num(o.width);
+    else if (a == "--image") ok = num(o.image);
+    else if (a == "--classes") ok = num(o.classes);
+    else if (a == "--batch") ok = num(o.batch);
+    else if (a == "--input-dim") ok = num(o.input_dim);
+    else if (a == "--batch-size") ok = num(o.batch_size);
+    else if (a == "--nodes") {
+      std::int64_t n = 0;
+      ok = num(n);
+      o.nodes = static_cast<int>(n);
+    } else if (a == "--devices-per-node") {
+      std::int64_t n = 0;
+      ok = num(n);
+      o.devices_per_node = static_cast<int>(n);
+    } else if (a == "--threads") {
+      std::int64_t n = 0;
+      ok = num(n);
+      o.threads = static_cast<int>(n);
+    } else if (a == "--trace") {
+      v = need(i);
+      if (v) o.trace_file = v;
+      ok = v != nullptr;
+    } else if (a == "--metrics") {
+      v = need(i);
+      if (v) o.metrics_file = v;
+      ok = v != nullptr;
+    } else if (a == "--quiet") o.quiet = true;
+    else if (a == "--help" || a == "-h") return usage(argv[0]);
+    else {
+      std::cerr << "unknown argument '" << a << "'\n";
+      return usage(argv[0]);
+    }
+    if (!ok) {
+      std::cerr << "missing value for '" << a << "'\n";
+      return usage(argv[0]);
+    }
+  }
+  if (o.model.empty()) return usage(argv[0]);
+  try {
+    return run(o);
+  } catch (const std::exception& e) {
+    RANNC_LOG_ERROR("rannc-trace: " << e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validate rannc-trace outputs against the checked-in JSON schemas.
+
+Usage:
+    validate_trace.py [--search-only] trace.json [metrics.json]
+
+Validates trace.json against tools/trace_schema.json (and metrics.json
+against tools/metrics_schema.json when given) using a small built-in
+subset of JSON Schema (type / required / properties / additionalProperties
+/ items / enum), then applies rannc-specific semantic checks:
+
+  * pid 1 (search, wall clock) has complete spans for >= 3 search phases
+  * pid 2 (pipeline schedule, virtual time) has >= 1 complete span
+  * pid 3 (comm fabric, virtual time) has >= 1 complete span and >= 1
+    bandwidth-share counter event
+  * all three pids carry process_name metadata
+
+With --search-only (e.g. for bench_partitioner --trace output, which has
+no simulation replay) the pid 2/3 checks are skipped and a profile-memo
+counter series is required instead.
+
+Exits 0 when everything passes, 1 otherwise. No third-party deps.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA_DIR = os.path.dirname(os.path.abspath(__file__))
+
+TYPE_MAP = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def check(value, schema, path, errors):
+    """Validate `value` against the supported JSON-Schema subset."""
+    typ = schema.get("type")
+    if typ is not None:
+        allowed = typ if isinstance(typ, list) else [typ]
+        ok = False
+        for t in allowed:
+            py = TYPE_MAP[t]
+            if isinstance(value, py) and not (
+                t in ("number", "integer") and isinstance(value, bool)
+            ):
+                ok = True
+                break
+        if not ok:
+            errors.append(f"{path}: expected type {typ}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']}")
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required key '{req}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for k, v in value.items():
+            if k in props:
+                check(v, props[k], f"{path}.{k}", errors)
+            elif isinstance(extra, dict):
+                check(v, extra, f"{path}.{k}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            check(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate_file(data_path, schema_name):
+    with open(os.path.join(SCHEMA_DIR, schema_name)) as f:
+        schema = json.load(f)
+    with open(data_path) as f:
+        data = json.load(f)
+    errors = []
+    check(data, schema, os.path.basename(data_path), errors)
+    return data, errors
+
+
+def semantic_trace_checks(trace, search_only=False):
+    errors = []
+    events = trace["traceEvents"]
+    search_spans = {e["name"] for e in events if e["pid"] == 1 and e["ph"] == "X"}
+    phases = {n for n in search_spans if n.startswith(("phase", "verify"))}
+    if len(phases) < 3:
+        errors.append(f"search domain: expected >= 3 phase spans, got {sorted(phases)}")
+    if search_only:
+        if not any(
+            e["pid"] == 1 and e["ph"] == "C" and e["name"] == "profile_memo"
+            for e in events
+        ):
+            errors.append("search domain: no profile_memo counter samples")
+    else:
+        if not any(e["pid"] == 2 and e["ph"] == "X" for e in events):
+            errors.append("schedule domain (pid 2): no complete spans")
+        if not any(e["pid"] == 3 and e["ph"] == "X" for e in events):
+            errors.append("fabric domain (pid 3): no transfer spans")
+        if not any(e["pid"] == 3 and e["ph"] == "C" for e in events):
+            errors.append("fabric domain (pid 3): no bandwidth-share counters")
+    named_pids = {
+        e["pid"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    for pid in (1, 2, 3):
+        if pid not in named_pids:
+            errors.append(f"pid {pid}: missing process_name metadata")
+    for e in events:
+        if e["ph"] == "X" and e.get("dur", 0) < 0:
+            errors.append(f"negative duration on span '{e['name']}'")
+            break
+    return errors
+
+
+def main(argv):
+    search_only = "--search-only" in argv
+    argv = [a for a in argv if a != "--search-only"]
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__)
+        return 2
+    failures = []
+
+    trace, errors = validate_file(argv[1], "trace_schema.json")
+    failures += errors
+    if not errors:
+        failures += semantic_trace_checks(trace, search_only)
+
+    if len(argv) == 3:
+        _, errors = validate_file(argv[2], "metrics_schema.json")
+        failures += errors
+
+    for msg in failures[:50]:
+        print(f"FAIL: {msg}")
+    if failures:
+        return 1
+    print(f"OK: {argv[1]}" + (f" and {argv[2]}" if len(argv) == 3 else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
