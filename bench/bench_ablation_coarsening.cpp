@@ -14,8 +14,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "models/bert.h"
-#include "partition/auto_partitioner.h"
+#include "rannc.h"
 
 int main() {
   using namespace rannc;

@@ -9,8 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "cluster/cluster_spec.h"
-#include "comm/oracle.h"
+#include "rannc.h"
 
 namespace {
 

@@ -10,12 +10,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "baselines/data_parallel.h"
-#include "baselines/gpipe.h"
-#include "baselines/megatron.h"
-#include "baselines/pipedream.h"
-#include "models/bert.h"
-#include "partition/auto_partitioner.h"
+#include "rannc.h"
 
 namespace {
 

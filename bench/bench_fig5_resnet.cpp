@@ -9,10 +9,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "baselines/data_parallel.h"
-#include "baselines/gpipe.h"
-#include "models/resnet.h"
-#include "partition/auto_partitioner.h"
+#include "rannc.h"
 
 namespace {
 

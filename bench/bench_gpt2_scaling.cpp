@@ -7,9 +7,7 @@
 // GPipe-Hybrid would each need a hand-written decoder implementation).
 #include <cstdio>
 
-#include "baselines/data_parallel.h"
-#include "models/gpt2.h"
-#include "partition/auto_partitioner.h"
+#include "rannc.h"
 
 int main() {
   using namespace rannc;

@@ -2,11 +2,7 @@
 // kernels used by the execution runtime and the three partitioning phases.
 #include <benchmark/benchmark.h>
 
-#include "models/bert.h"
-#include "partition/atomic.h"
-#include "partition/block.h"
-#include "partition/stage_dp.h"
-#include "tensor/ops.h"
+#include "rannc.h"
 
 namespace {
 

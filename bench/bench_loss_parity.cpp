@@ -7,10 +7,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "models/mlp.h"
-#include "partition/auto_partitioner.h"
-#include "runtime/pipeline_runtime.h"
-#include "runtime/trainer.h"
+#include "rannc.h"
 
 int main() {
   using namespace rannc;

@@ -29,16 +29,7 @@
 #include <thread>
 #include <vector>
 
-#include "models/bert.h"
-#include "models/gpt2.h"
-#include "models/resnet.h"
-#include "obs/log.h"
-#include "obs/trace.h"
-#include "partition/atomic.h"
-#include "partition/auto_partitioner.h"
-#include "partition/block.h"
-#include "partition/plan_io.h"
-#include "profiler/graph_profiler.h"
+#include "rannc.h"
 
 namespace {
 

@@ -2,7 +2,7 @@
 // partitioning"): the qualitative feature matrix of the compared systems.
 #include <cstdio>
 
-#include "baselines/feature_table.h"
+#include "rannc.h"
 
 int main() {
   std::printf("== Table I: Previous works on model partitioning ==\n\n");

@@ -6,12 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "baselines/data_parallel.h"
-#include "baselines/gpipe.h"
-#include "baselines/megatron.h"
-#include "baselines/pipedream.h"
-#include "models/bert.h"
-#include "partition/auto_partitioner.h"
+#include "rannc.h"
 
 int main(int argc, char** argv) {
   using namespace rannc;

@@ -7,9 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "models/gpt2.h"
-#include "partition/auto_partitioner.h"
-#include "pipeline/schedule.h"
+#include "rannc.h"
 
 int main(int argc, char** argv) {
   using namespace rannc;

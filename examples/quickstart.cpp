@@ -7,9 +7,7 @@
 // Build & run:  ./examples/quickstart
 #include <cstdio>
 
-#include "models/mlp.h"
-#include "partition/auto_partitioner.h"
-#include "runtime/pipeline_runtime.h"
+#include "rannc.h"
 
 int main() {
   using namespace rannc;

@@ -6,10 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "baselines/gpipe.h"
-#include "models/resnet.h"
-#include "partition/auto_partitioner.h"
-#include "pipeline/schedule.h"
+#include "rannc.h"
 
 int main(int argc, char** argv) {
   using namespace rannc;

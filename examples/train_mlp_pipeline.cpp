@@ -9,10 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "models/mlp.h"
-#include "partition/auto_partitioner.h"
-#include "runtime/pipeline_runtime.h"
-#include "runtime/trainer.h"
+#include "rannc.h"
 
 int main(int argc, char** argv) {
   using namespace rannc;

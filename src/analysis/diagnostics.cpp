@@ -33,6 +33,11 @@ const char* diag_code_name(DiagCode c) {
     case DiagCode::ShapeMismatch: return "ShapeMismatch";
     case DiagCode::DTypeMismatch: return "DTypeMismatch";
     case DiagCode::DeadTask: return "DeadTask";
+    case DiagCode::BadBatchSize: return "BadBatchSize";
+    case DiagCode::BadMemoryMargin: return "BadMemoryMargin";
+    case DiagCode::BadThreadCount: return "BadThreadCount";
+    case DiagCode::BadBlockCount: return "BadBlockCount";
+    case DiagCode::EmptyCluster: return "EmptyCluster";
   }
   return "?";
 }

@@ -47,6 +47,12 @@ enum class DiagCode : std::uint8_t {
   DTypeMismatch,          ///< builder-recorded output dtype != re-inferred
   // ---- dataflow (analysis/dataflow.cpp) ----
   DeadTask,               ///< task output cannot reach any marked output
+  // ---- partitioner configuration (partition/auto_partitioner.cpp) ----
+  BadBatchSize,           ///< PartitionConfig::batch_size <= 0
+  BadMemoryMargin,        ///< memory_margin outside (0, 1]
+  BadThreadCount,         ///< threads < 0 (0 = env default is valid)
+  BadBlockCount,          ///< num_blocks < 1
+  EmptyCluster,           ///< cluster has no nodes or no devices per node
 };
 
 const char* severity_name(Severity s);

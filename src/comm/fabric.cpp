@@ -37,6 +37,58 @@ Fabric::Fabric(const ClusterSpec& spec) : spec_(spec) {
   received_.assign(static_cast<std::size_t>(R), 0);
   busy_.assign(links_.size(), 0.0);
   busy_until_.assign(links_.size(), 0.0);
+  link_faults_.assign(links_.size(), {});
+  fail_time_.assign(static_cast<std::size_t>(R), kInf);
+}
+
+void Fabric::add_link_fault(LinkId l, double start, double end,
+                            double factor) {
+  if (l < 0 || l >= num_links())
+    throw std::out_of_range("Fabric: fault link out of range");
+  if (!(start >= 0) || !std::isfinite(end) || end <= start)
+    throw std::invalid_argument("Fabric: fault window must be finite with end > start");
+  if (factor < 0 || factor > 1)
+    throw std::invalid_argument("Fabric: fault factor must be in [0, 1]");
+  link_faults_[static_cast<std::size_t>(l)].push_back({start, end, factor});
+  ++num_fault_windows_;
+}
+
+void Fabric::add_link_fault(const std::string& link_name, double start,
+                            double end, double factor) {
+  for (LinkId l = 0; l < num_links(); ++l)
+    if (links_[static_cast<std::size_t>(l)].name == link_name)
+      return add_link_fault(l, start, end, factor);
+  throw std::invalid_argument("Fabric: unknown link '" + link_name + "'");
+}
+
+void Fabric::set_rank_fail(Rank r, double t) {
+  check_rank(r);
+  if (!(t >= 0))
+    throw std::invalid_argument("Fabric: fail-stop time must be >= 0");
+  auto& ft = fail_time_[static_cast<std::size_t>(r)];
+  ft = std::min(ft, t);
+}
+
+void Fabric::clear_faults() {
+  for (auto& w : link_faults_) w.clear();
+  num_fault_windows_ = 0;
+  std::fill(fail_time_.begin(), fail_time_.end(), kInf);
+}
+
+double Fabric::link_factor(LinkId l, double t) const {
+  double f = 1.0;
+  for (const FaultWindow& w : link_faults_[static_cast<std::size_t>(l)])
+    if (w.start <= t && t < w.end) f = std::min(f, w.factor);
+  return f;
+}
+
+double Fabric::next_link_boundary(LinkId l, double t) const {
+  double b = kInf;
+  for (const FaultWindow& w : link_faults_[static_cast<std::size_t>(l)]) {
+    if (w.start > t) b = std::min(b, w.start);
+    if (w.end > t) b = std::min(b, w.end);
+  }
+  return b;
 }
 
 double Fabric::max_clock() const {
@@ -51,6 +103,10 @@ void Fabric::reset() {
   std::fill(received_.begin(), received_.end(), std::int64_t{0});
   std::fill(busy_.begin(), busy_.end(), 0.0);
   std::fill(busy_until_.begin(), busy_until_.end(), 0.0);
+}
+
+void Fabric::advance_clocks(double t) {
+  for (double& c : clock_) c = std::max(c, t);
 }
 
 void Fabric::set_recorder(obs::TraceRecorder* rec) {
@@ -86,6 +142,8 @@ std::vector<double> Fabric::run_step(const std::vector<Transfer>& transfers) {
   struct St {
     double activate = 0;   ///< virtual time bytes start flowing
     double remaining = 0;  ///< bytes left
+    double doom = 0;       ///< earliest fail-stop among src/dst (+inf)
+    Rank doom_rank = 0;    ///< rank whose fail-stop sets `doom`
     LinkId path[4] = {0, 0, 0, 0};
     int npath = 0;
     bool done = false;
@@ -105,7 +163,13 @@ std::vector<double> Fabric::run_step(const std::vector<Transfer>& transfers) {
                           clock_[static_cast<std::size_t>(t.dst)]) +
                  lat;
     s.remaining = std::max(0.0, t.bytes);
+    const double fs = fail_time_[static_cast<std::size_t>(t.src)];
+    const double fd = fail_time_[static_cast<std::size_t>(t.dst)];
+    s.doom = std::min(fs, fd);
+    s.doom_rank = fs <= fd ? t.src : t.dst;
     s.npath = path_of(t.src, t.dst, s.path);
+    if (s.doom <= s.activate)
+      throw DeviceFailure(s.doom_rank, s.doom);
     if (s.remaining <= kByteEps) {  // latency-only message
       s.done = true;
       finish[i] = s.activate;
@@ -122,26 +186,31 @@ std::vector<double> Fabric::run_step(const std::vector<Transfer>& transfers) {
   std::vector<double> rate(n, 0.0);
   // Per-link bandwidth-share counter series; only materialized when a
   // recorder is attached.
-  std::vector<int> last_emitted;
-  if (rec_ != nullptr) last_emitted.assign(links_.size(), 0);
-  const auto emit_share = [this](LinkId l, double ts, int active) {
-    const double share =
-        active > 0
-            ? links_[static_cast<std::size_t>(l)].bandwidth / active
-            : 0.0;
+  std::vector<double> last_emitted;
+  if (rec_ != nullptr) last_emitted.assign(links_.size(), 0.0);
+  const auto emit_share = [this, &last_emitted](LinkId l, double ts,
+                                                double share) {
+    if (share == last_emitted[static_cast<std::size_t>(l)]) return;
+    last_emitted[static_cast<std::size_t>(l)] = share;
     rec_->counter(obs::Domain::SimFabric, l, "bw_share", ts * 1e6,
                   "\"bytes_per_s\":" + obs::json_double(share));
   };
-  // Each iteration either finishes >= 1 transfer or jumps to the next
-  // activation, so the loop is bounded by 2n events; the cap is a pure
-  // float-pathology backstop.
-  for (std::size_t iter = 0; open > 0 && iter < 2 * n + 64; ++iter) {
+  // Each iteration finishes >= 1 transfer, jumps to the next activation,
+  // or crosses a fault-window boundary, so the loop is bounded by
+  // 2n + 2*windows events; the cap is a pure float-pathology backstop.
+  for (std::size_t iter = 0;
+       open > 0 && iter < 2 * n + 2 * num_fault_windows_ + 64; ++iter) {
     std::fill(active_on.begin(), active_on.end(), 0);
     bool any_active = false;
     double next_activation = kInf;
+    double next_doom = kInf;
     for (std::size_t i = 0; i < n; ++i) {
       const St& s = st[i];
       if (s.done) continue;
+      // A fail-stop reached while the batch is still open kills the run
+      // deterministically at exactly the registered virtual time.
+      if (s.doom <= now) throw DeviceFailure(s.doom_rank, s.doom);
+      next_doom = std::min(next_doom, s.doom);
       if (s.activate <= now) {
         any_active = true;
         for (int k = 0; k < s.npath; ++k)
@@ -151,29 +220,39 @@ std::vector<double> Fabric::run_step(const std::vector<Transfer>& transfers) {
       }
     }
     if (rec_ != nullptr) {
-      for (std::size_t l = 0; l < links_.size(); ++l)
-        if (active_on[l] != last_emitted[l]) {
-          emit_share(static_cast<LinkId>(l), now, active_on[l]);
-          last_emitted[l] = active_on[l];
-        }
+      for (std::size_t l = 0; l < links_.size(); ++l) {
+        const double share =
+            active_on[l] > 0
+                ? links_[l].bandwidth *
+                      link_factor(static_cast<LinkId>(l), now) / active_on[l]
+                : 0.0;
+        emit_share(static_cast<LinkId>(l), now, share);
+      }
     }
     if (!any_active) {
-      now = next_activation;
+      now = std::min(next_activation, next_doom);
       continue;
     }
-    double next = next_activation;
+    double next = std::min(next_activation, next_doom);
     for (std::size_t i = 0; i < n; ++i) {
       const St& s = st[i];
       if (s.done || s.activate > now) continue;
       double r = kInf;
       for (int k = 0; k < s.npath; ++k) {
         const std::size_t l = static_cast<std::size_t>(s.path[k]);
-        r = std::min(r, links_[l].bandwidth /
+        r = std::min(r, links_[l].bandwidth *
+                            link_factor(static_cast<LinkId>(l), now) /
                             static_cast<double>(active_on[l]));
+        if (num_fault_windows_ > 0)
+          next = std::min(
+              next, next_link_boundary(static_cast<LinkId>(l), now));
       }
       rate[i] = r;
-      next = std::min(next, now + s.remaining / r);
+      // r == 0 models a full outage: the transfer stalls until a window
+      // boundary (always finite) re-opens the link.
+      if (r > 0) next = std::min(next, now + s.remaining / r);
     }
+    if (!std::isfinite(next)) break;  // defensive; windows are finite
     const double dt = next - now;
     for (std::size_t l = 0; l < links_.size(); ++l)
       if (active_on[l] > 0) {
@@ -202,7 +281,7 @@ std::vector<double> Fabric::run_step(const std::vector<Transfer>& transfers) {
   if (rec_ != nullptr) {
     // Close out still-open counter series at the step's end.
     for (std::size_t l = 0; l < links_.size(); ++l)
-      if (last_emitted[l] != 0) emit_share(static_cast<LinkId>(l), now, 0);
+      emit_share(static_cast<LinkId>(l), now, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       const Transfer& t = transfers[i];
       rec_->complete(obs::Domain::SimFabric, st[i].path[0],

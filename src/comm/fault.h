@@ -1,0 +1,60 @@
+// Fault-injection seams of the communication layer.
+//
+// The mechanisms live here, at the bottom of the stack, so both the
+// discrete-event fabric (`fabric.h`) and the runtime endpoints
+// (`endpoint.h`) can be driven by the same deterministic fault schedule;
+// the *policy* — parsing fault plans, deciding when to retry, shrinking
+// the cluster — lives in `src/resilience`, which sits above the runtime.
+//
+// Everything is deterministic: link faults are windows in *virtual* time
+// (the fabric's clock domain) and message faults key on per-channel
+// sequence numbers, never on host wall clocks, so an injected failure
+// reproduces bit-identically across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rannc {
+namespace comm {
+
+/// Thrown by the fabric when a transfer touches a rank at or beyond its
+/// fail-stop time. Carries enough context for a recovery coordinator to
+/// shrink the cluster and re-partition.
+class DeviceFailure : public std::runtime_error {
+ public:
+  DeviceFailure(int rank, double time)
+      : std::runtime_error("device rank " + std::to_string(rank) +
+                           " failed at t=" + std::to_string(time) + "s"),
+        rank_(rank),
+        time_(time) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  /// Virtual time of the fail-stop event.
+  [[nodiscard]] double time() const { return time_; }
+
+ private:
+  int rank_;
+  double time_;
+};
+
+/// Deterministic transient-message-fault oracle.
+///
+/// `FabricEndpoint::recv` consults it once per delivery attempt: `channel`
+/// is the endpoint's logical name (the pipeline runtime names its edges
+/// "fwd <from>-><to>" and "bwd <to>-><from>", matching the direction the
+/// payload flows), `seq` is the 0-based ordinal of the message on that
+/// channel, and `attempt` counts retries of the same message (0 = first
+/// try). Returning true makes that attempt time out without consuming the
+/// message, forcing the caller through its retry/backoff path.
+class MessageFaultInjector {
+ public:
+  virtual ~MessageFaultInjector() = default;
+  [[nodiscard]] virtual bool should_timeout(const std::string& channel,
+                                            std::int64_t seq,
+                                            int attempt) const = 0;
+};
+
+}  // namespace comm
+}  // namespace rannc

@@ -290,11 +290,47 @@ int resolve_search_threads(int threads_knob) {
   return 1;
 }
 
+std::vector<Diagnostic> PartitionConfig::validate() const {
+  std::vector<Diagnostic> ds;
+  const auto err = [&ds](DiagCode code, std::string msg) {
+    Diagnostic d;
+    d.severity = Severity::Error;
+    d.code = code;
+    d.message = std::move(msg);
+    ds.push_back(std::move(d));
+  };
+  if (batch_size <= 0)
+    err(DiagCode::BadBatchSize,
+        "batch_size must be positive, got " + std::to_string(batch_size));
+  if (!(memory_margin > 0.0) || memory_margin > 1.0)
+    err(DiagCode::BadMemoryMargin,
+        "memory_margin must be in (0, 1], got " +
+            std::to_string(memory_margin));
+  if (threads < 0)
+    err(DiagCode::BadThreadCount,
+        "threads must be >= 0 (0 = RANNC_THREADS env default), got " +
+            std::to_string(threads));
+  if (num_blocks < 1)
+    err(DiagCode::BadBlockCount,
+        "num_blocks must be >= 1, got " + std::to_string(num_blocks));
+  if (cluster.num_nodes < 1 || cluster.devices_per_node < 1)
+    err(DiagCode::EmptyCluster,
+        "cluster must have at least one node and one device per node, got " +
+            std::to_string(cluster.num_nodes) + " node(s) x " +
+            std::to_string(cluster.devices_per_node) + " device(s)");
+  return ds;
+}
+
 PartitionResult auto_partition(const TaskGraph& model,
                                const PartitionConfig& cfg) {
   const auto t0 = std::chrono::steady_clock::now();
   PartitionResult res;
   obs::Scope sc_all("auto_partition");
+
+  // Configuration gate, symmetric with the graph verifier below: reject
+  // nonsense knobs with every violation listed, not just the first.
+  if (std::vector<Diagnostic> ds = cfg.validate(); has_errors(ds))
+    throw std::invalid_argument("invalid PartitionConfig:\n" + render(ds));
 
   // Static-analysis gate (src/analysis): a malformed graph or a builder
   // shape bug silently skews the roofline profile, block balance and stage
@@ -391,10 +427,21 @@ PartitionResult auto_partition(const TaskGraph& model,
     obs::Scope sc("phase3:prebuild_times");
     seq.prebuild_times(enumerate_bsizes(BS, N_nodes, Dnode));
   }
-  std::optional<ProfileMemo> memo;
+  std::optional<ProfileMemo> local_memo;
+  ProfileMemo* memo = nullptr;
   RangeProfileFn sweep_fn = search_fn;
-  if (cfg.profile_memo) {
-    memo.emplace(search_fn);
+  std::int64_t memo_h0 = 0, memo_m0 = 0;
+  if (cfg.shared_memo) {
+    // Warm restart: reuse a prior run's cache, count only this run's
+    // lookups so the hit rate of the restart is observable.
+    memo = cfg.shared_memo.get();
+    memo->set_base(search_fn);
+    memo_h0 = memo->hits();
+    memo_m0 = memo->misses();
+    sweep_fn = memo->fn();
+  } else if (cfg.profile_memo) {
+    local_memo.emplace(search_fn);
+    memo = &*local_memo;
     sweep_fn = memo->fn();
   }
   std::unique_ptr<ThreadPool> pool;
@@ -447,7 +494,7 @@ PartitionResult auto_partition(const TaskGraph& model,
       in.device_memory = M;
       in.max_cells = cfg.max_dp_cells;
       in.shared_cells = cfg.max_dp_cells > 0 ? &shared_cells : nullptr;
-      in.reuse_equal_stage_devs = cfg.profile_memo;
+      in.reuse_equal_stage_devs = cfg.profile_memo || cfg.shared_memo != nullptr;
       in.profile = sweep_fn;
       StageDpSolution sol = form_stage_dp(in);
       sc.arg("feasible", static_cast<int>(sol.feasible));
@@ -521,8 +568,8 @@ PartitionResult auto_partition(const TaskGraph& model,
                      std::tie(b.nodes, b.stages, b.microbatches);
             });
   if (memo) {
-    res.stats.memo_hits = memo->hits();
-    res.stats.memo_misses = memo->misses();
+    res.stats.memo_hits = memo->hits() - memo_h0;
+    res.stats.memo_misses = memo->misses() - memo_m0;
   }
   res.stats.search_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

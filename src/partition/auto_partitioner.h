@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "cluster/cluster_spec.h"
 #include "graph/task_graph.h"
 #include "partition/block.h"
@@ -17,6 +18,8 @@
 #include "profiler/memory.h"
 
 namespace rannc {
+
+class ProfileMemo;
 
 struct PartitionConfig {
   ClusterSpec cluster;
@@ -48,11 +51,28 @@ struct PartitionConfig {
   /// identical either way. Exposed so bench_partitioner can measure the
   /// memoization speedup.
   bool profile_memo = true;
+  /// Cross-run memo sharing: when set, the Phase-3 sweep uses this memo
+  /// (rebinding its base to the current run's profile fn) instead of a
+  /// private one, so a re-partition after device loss runs warm off the
+  /// original search's profiles. Caller contract: the model, profiler and
+  /// block partition must be unchanged between runs sharing a memo — only
+  /// the cluster size and batch size may differ (batch size is part of the
+  /// cache key). stats.memo_hits/memo_misses report this run's lookups
+  /// only, so the warm-restart hit rate is directly observable.
+  std::shared_ptr<ProfileMemo> shared_memo;
 
   [[nodiscard]] std::int64_t usable_memory() const {
     return static_cast<std::int64_t>(
         static_cast<double>(cluster.device.memory_bytes) * memory_margin);
   }
+
+  /// Checks the configuration knobs for obvious misuse and returns one
+  /// analysis-style diagnostic per violation (stable DiagCodes:
+  /// BadBatchSize, BadMemoryMargin, BadThreadCount, BadBlockCount,
+  /// EmptyCluster). Empty result = valid. `auto_partition` calls this at
+  /// entry — next to the graph verifier — and throws std::invalid_argument
+  /// listing every finding when any is an error.
+  [[nodiscard]] std::vector<Diagnostic> validate() const;
 };
 
 /// One pipeline stage of the final plan.

@@ -17,6 +17,13 @@ void ProfileMemo::trace_progress() const {
                    ",\"misses\":" + std::to_string(m));
 }
 
+void ProfileMemo::clear() {
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.map.clear();
+  }
+}
+
 RangeProfileFn ProfileMemo::fn() {
   return [this](int lo, int hi, std::int64_t bsize, int microbatches,
                 int num_stages) -> StageProfile {

@@ -32,8 +32,23 @@ class ProfileMemo {
   /// auto_partitioner satisfy this; a base fn that violates the contract
   /// would silently receive profiles from a sibling (S, MB) configuration.
   explicit ProfileMemo(RangeProfileFn base) : base_(std::move(base)) {}
+  /// Unbound memo for cross-run sharing (PartitionConfig::shared_memo):
+  /// call set_base before the first lookup of each run.
+  ProfileMemo() = default;
   ProfileMemo(const ProfileMemo&) = delete;
   ProfileMemo& operator=(const ProfileMemo&) = delete;
+
+  /// Rebinds the base fn while keeping the cache — the warm-restart path
+  /// of elastic recovery, where a re-partition after device loss reuses
+  /// every profile of the original search. Caller contract: the new base
+  /// must produce bit-identical profiles for any key the cache already
+  /// holds (true when model, profiler and block partition are unchanged —
+  /// cluster *size* may differ, it does not enter profiles). Not
+  /// thread-safe against concurrent lookups.
+  void set_base(RangeProfileFn base) { base_ = std::move(base); }
+
+  /// Drops every cached profile (counters are kept).
+  void clear();
 
   /// The memoizing RangeProfileFn. Holds a non-owning reference to this
   /// memo, which must outlive every copy of the returned function. Safe

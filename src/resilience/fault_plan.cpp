@@ -1,0 +1,315 @@
+#include "resilience/fault_plan.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace rannc {
+namespace resilience {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::RankFail: return "rank_fail";
+    case FaultKind::LinkDegrade: return "link_degrade";
+    case FaultKind::LinkOutage: return "link_outage";
+    case FaultKind::MsgTimeout: return "msg_timeout";
+  }
+  return "?";
+}
+
+namespace {
+
+FaultKind kind_from_name(const std::string& s) {
+  if (s == "rank_fail") return FaultKind::RankFail;
+  if (s == "link_degrade") return FaultKind::LinkDegrade;
+  if (s == "link_outage") return FaultKind::LinkOutage;
+  if (s == "msg_timeout") return FaultKind::MsgTimeout;
+  throw std::invalid_argument("fault plan: unknown kind '" + s + "'");
+}
+
+void validate_event(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::RankFail:
+      if (e.rank < 0)
+        throw std::invalid_argument("fault plan: rank_fail needs rank >= 0");
+      if (!std::isfinite(e.time) || e.time < 0)
+        throw std::invalid_argument(
+            "fault plan: rank_fail needs a finite time >= 0");
+      break;
+    case FaultKind::LinkDegrade:
+    case FaultKind::LinkOutage:
+      if (e.link.empty())
+        throw std::invalid_argument("fault plan: link event needs a link");
+      if (!std::isfinite(e.start) || !std::isfinite(e.end) ||
+          e.end <= e.start || e.start < 0)
+        throw std::invalid_argument(
+            "fault plan: link window needs finite 0 <= start < end");
+      if (e.kind == FaultKind::LinkDegrade &&
+          (!(e.factor >= 0) || e.factor >= 1))
+        throw std::invalid_argument(
+            "fault plan: link_degrade needs factor in [0, 1)");
+      break;
+    case FaultKind::MsgTimeout:
+      if (e.channel.empty())
+        throw std::invalid_argument("fault plan: msg_timeout needs a channel");
+      if (e.seq < 0 || e.times < 1)
+        throw std::invalid_argument(
+            "fault plan: msg_timeout needs seq >= 0 and times >= 1");
+      break;
+  }
+}
+
+/// Minimal recursive-descent parser for the JSON subset to_json emits
+/// (same pattern as plan_io.cpp, plus double-quoted string values).
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c)
+      throw std::invalid_argument(std::string("fault plan JSON: expected '") +
+                                  c + "' at offset " + std::to_string(pos_));
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default:
+            throw std::invalid_argument(
+                "fault plan JSON: unsupported escape at offset " +
+                std::to_string(pos_ - 1));
+        }
+      }
+      out.push_back(c);
+    }
+    expect('"');
+    return out;
+  }
+
+  std::string key() {
+    std::string k = string();
+    expect(':');
+    return k;
+  }
+
+  double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start)
+      throw std::invalid_argument(
+          "fault plan JSON: expected a number at offset " +
+          std::to_string(start));
+    return std::stod(s_.substr(start, pos_ - start));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Injector backed by a snapshot of the plan's MsgTimeout events.
+class PlanMessageFaults final : public comm::MessageFaultInjector {
+ public:
+  explicit PlanMessageFaults(const std::vector<FaultEvent>& events) {
+    for (const FaultEvent& e : events)
+      if (e.kind == FaultKind::MsgTimeout)
+        times_[{e.channel, e.seq}] += e.times;
+  }
+
+  bool should_timeout(const std::string& channel, std::int64_t seq,
+                      int attempt) const override {
+    const auto it = times_.find({channel, seq});
+    return it != times_.end() && attempt < it->second;
+  }
+
+ private:
+  std::map<std::pair<std::string, std::int64_t>, std::int64_t> times_;
+};
+
+}  // namespace
+
+std::string FaultPlan::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"version\": 1,\n  \"events\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    os << "    {\"kind\": \"" << fault_kind_name(e.kind) << "\"";
+    switch (e.kind) {
+      case FaultKind::RankFail:
+        os << ", \"rank\": " << e.rank
+           << ", \"time\": " << obs::json_double(e.time);
+        break;
+      case FaultKind::LinkDegrade:
+      case FaultKind::LinkOutage:
+        os << ", \"link\": " << obs::json_string(e.link)
+           << ", \"start\": " << obs::json_double(e.start)
+           << ", \"end\": " << obs::json_double(e.end);
+        if (e.kind == FaultKind::LinkDegrade)
+          os << ", \"factor\": " << obs::json_double(e.factor);
+        break;
+      case FaultKind::MsgTimeout:
+        os << ", \"channel\": " << obs::json_string(e.channel)
+           << ", \"seq\": " << e.seq << ", \"times\": " << e.times;
+        break;
+    }
+    os << "}" << (i + 1 < events.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+FaultPlan FaultPlan::from_json(const std::string& json) {
+  JsonParser p(json);
+  FaultPlan plan;
+  p.expect('{');
+  bool first = true;
+  while (true) {
+    if (!first && !p.consume(',')) break;
+    first = false;
+    p.skip_ws();
+    const std::string k = p.key();
+    if (k == "version") {
+      if (static_cast<int>(p.number()) != 1)
+        throw std::invalid_argument("fault plan JSON: unsupported version");
+    } else if (k == "events") {
+      p.expect('[');
+      if (!p.consume(']')) {
+        do {
+          p.expect('{');
+          FaultEvent e;
+          bool efirst = true;
+          while (true) {
+            if (!efirst && !p.consume(',')) break;
+            efirst = false;
+            const std::string ek = p.key();
+            if (ek == "kind") {
+              e.kind = kind_from_name(p.string());
+              if (e.kind == FaultKind::LinkOutage) e.factor = 0;
+            } else if (ek == "rank") {
+              e.rank = static_cast<int>(p.number());
+            } else if (ek == "time") {
+              e.time = p.number();
+            } else if (ek == "link") {
+              e.link = p.string();
+            } else if (ek == "start") {
+              e.start = p.number();
+            } else if (ek == "end") {
+              e.end = p.number();
+            } else if (ek == "factor") {
+              e.factor = p.number();
+            } else if (ek == "channel") {
+              e.channel = p.string();
+            } else if (ek == "seq") {
+              e.seq = static_cast<std::int64_t>(p.number());
+            } else if (ek == "times") {
+              e.times = static_cast<int>(p.number());
+            } else {
+              throw std::invalid_argument(
+                  "fault plan JSON: unknown event key '" + ek + "'");
+            }
+          }
+          p.expect('}');
+          if (e.kind == FaultKind::LinkOutage) e.factor = 0;
+          validate_event(e);
+          plan.events.push_back(std::move(e));
+        } while (p.consume(','));
+        p.expect(']');
+      }
+    } else {
+      throw std::invalid_argument("fault plan JSON: unknown key '" + k + "'");
+    }
+  }
+  p.expect('}');
+  return plan;
+}
+
+FaultPlan FaultPlan::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::invalid_argument("fault plan: cannot read '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return from_json(os.str());
+}
+
+void FaultPlan::apply_to(comm::Fabric& fabric) const {
+  for (const FaultEvent& e : events) {
+    validate_event(e);
+    switch (e.kind) {
+      case FaultKind::RankFail:
+        fabric.set_rank_fail(e.rank, e.time);
+        break;
+      case FaultKind::LinkDegrade:
+      case FaultKind::LinkOutage:
+        fabric.add_link_fault(e.link, e.start, e.end,
+                              e.kind == FaultKind::LinkOutage ? 0.0
+                                                              : e.factor);
+        break;
+      case FaultKind::MsgTimeout:
+        break;  // runtime-level; delivered via message_faults()
+    }
+  }
+}
+
+std::shared_ptr<const comm::MessageFaultInjector> FaultPlan::message_faults()
+    const {
+  return std::make_shared<const PlanMessageFaults>(events);
+}
+
+std::int64_t FaultPlan::timeouts_in(const std::string& channel,
+                                    std::int64_t lo, std::int64_t hi) const {
+  std::int64_t total = 0;
+  for (const FaultEvent& e : events)
+    if (e.kind == FaultKind::MsgTimeout && e.channel == channel &&
+        e.seq >= lo && e.seq < hi)
+      total += e.times;
+  return total;
+}
+
+std::vector<int> FaultPlan::failed_ranks_at(double t) const {
+  std::set<int> ranks;
+  for (const FaultEvent& e : events)
+    if (e.kind == FaultKind::RankFail && e.time <= t) ranks.insert(e.rank);
+  return {ranks.begin(), ranks.end()};
+}
+
+}  // namespace resilience
+}  // namespace rannc

@@ -8,6 +8,7 @@
 // forever — stage threads can never deadlock on a dead peer.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -15,6 +16,13 @@
 #include <optional>
 
 namespace rannc {
+
+/// Outcome of a receive attempt on a channel or endpoint.
+enum class RecvStatus {
+  Ok,       ///< an item was delivered
+  Timeout,  ///< the wait deadline expired (or a fault was injected)
+  Closed,   ///< the channel is closed and drained
+};
 
 template <typename T>
 class Channel {
@@ -42,6 +50,38 @@ class Channel {
     queue_.pop_front();
     cv_space_.notify_one();
     return item;
+  }
+
+  /// Bounded-wait receive: like recv(), but gives up after `timeout` and
+  /// reports how the wait ended so callers can distinguish a slow peer
+  /// (Timeout — retryable) from a dead one (Closed).
+  std::optional<T> recv_for(std::chrono::duration<double> timeout,
+                            RecvStatus* status) {
+    std::unique_lock<std::mutex> lk(mu_);
+    const bool ready = cv_data_.wait_for(
+        lk, timeout, [&] { return closed_ || !queue_.empty(); });
+    if (!ready) {
+      if (status) *status = RecvStatus::Timeout;
+      return std::nullopt;
+    }
+    if (queue_.empty()) {
+      if (status) *status = RecvStatus::Closed;
+      return std::nullopt;
+    }
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    cv_space_.notify_one();
+    if (status) *status = RecvStatus::Ok;
+    return item;
+  }
+
+  /// Reopens a closed channel for another epoch of use, discarding any
+  /// undelivered items. Only safe once every thread of the previous epoch
+  /// has stopped touching the channel.
+  void reopen() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = false;
+    queue_.clear();
   }
 
   /// Marks the channel closed and wakes every blocked sender/receiver.

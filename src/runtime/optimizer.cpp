@@ -27,8 +27,8 @@ void Optimizer::step(TensorMap& params, const TensorMap& grads) {
       case OptimizerConfig::Kind::Adam: {
         auto it = state_.find(v);
         if (it == state_.end())
-          it = state_.emplace(v, AdamState{Tensor(p.shape(), 0.0f),
-                                           Tensor(p.shape(), 0.0f)}).first;
+          it = state_.emplace(v, ParamOptState{Tensor(p.shape(), 0.0f),
+                                              Tensor(p.shape(), 0.0f)}).first;
         float* M = it->second.m.data();
         float* V = it->second.v.data();
         const auto bc1 = static_cast<float>(
@@ -46,6 +46,23 @@ void Optimizer::step(TensorMap& params, const TensorMap& grads) {
       }
     }
   }
+}
+
+OptStateMap Optimizer::export_state() const {
+  OptStateMap out;
+  out.reserve(state_.size());
+  for (const auto& [v, s] : state_)
+    out.emplace(v, ParamOptState{s.m.clone(), s.v.clone()});
+  return out;
+}
+
+void Optimizer::import_state(const OptStateMap& state, std::int64_t t) {
+  state_.clear();
+  for (const auto& [v, s] : state) {
+    if (!s.m.defined() || !s.v.defined()) continue;
+    state_.emplace(v, ParamOptState{s.m.clone(), s.v.clone()});
+  }
+  t_ = t;
 }
 
 }  // namespace rannc

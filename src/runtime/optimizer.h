@@ -17,6 +17,15 @@ struct OptimizerConfig {
   float eps = 1e-8f;
 };
 
+/// Per-parameter optimizer state: Adam first/second moments (undefined
+/// tensors for SGD, which is stateless). The currency of transactional
+/// rollback and of elastic re-sharding — state maps can be merged across
+/// stage shards and split along a new stage layout.
+struct ParamOptState {
+  Tensor m, v;
+};
+using OptStateMap = std::unordered_map<ValueId, ParamOptState>;
+
 /// Stateful optimizer for one shard of parameters. Deterministic: update
 /// order follows ascending ValueId.
 class Optimizer {
@@ -28,12 +37,21 @@ class Optimizer {
 
   [[nodiscard]] const OptimizerConfig& config() const { return cfg_; }
 
+  /// The optimizer's step count (bias-correction time for Adam).
+  [[nodiscard]] std::int64_t step_count() const { return t_; }
+
+  /// Deep copy of the per-parameter state. Safe to hold across `step`
+  /// calls (moments are cloned, not aliased).
+  [[nodiscard]] OptStateMap export_state() const;
+
+  /// Replaces the state with a deep copy of `state` (only entries with a
+  /// defined moment tensor are kept) and sets the step count to `t`.
+  /// Restoring an exported snapshot rewinds the optimizer bit-exactly.
+  void import_state(const OptStateMap& state, std::int64_t t);
+
  private:
-  struct AdamState {
-    Tensor m, v;
-  };
   OptimizerConfig cfg_;
-  std::unordered_map<ValueId, AdamState> state_;
+  OptStateMap state_;
   std::int64_t t_ = 0;
 };
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "obs/log.h"
 #include "obs/trace.h"
@@ -51,9 +53,17 @@ PipelineTrainer::PipelineTrainer(const TaskGraph& g,
     if (v < 0) throw std::invalid_argument("stages do not cover the graph");
 
   TensorMap all_params = init_params(g, options_.seed);
+  if (options_.initial_params) {
+    // Elastic resume: adopt surviving weights over the seeded init.
+    for (const auto& [v, t] : *options_.initial_params) {
+      auto it = all_params.find(v);
+      if (it != all_params.end()) it->second = t.clone();
+    }
+  }
   stages_.reserve(static_cast<std::size_t>(S));
   for (int s = 0; s < S; ++s) {
     stages_.emplace_back(options_.opt);
+    stages_.back().index = s;
     stages_.back().tasks = std::move(stage_tasks[static_cast<std::size_t>(s)]);
     std::sort(stages_.back().tasks.begin(), stages_.back().tasks.end());
   }
@@ -120,6 +130,14 @@ PipelineTrainer::PipelineTrainer(const TaskGraph& g,
                                         tensor_map_bytes);
     e->bwd = std::make_unique<Endpoint>(256, oracle, same_node,
                                         tensor_map_bytes);
+    e->fwd_name = "fwd " + std::to_string(e->from) + "->" +
+                  std::to_string(e->to);
+    e->bwd_name = "bwd " + std::to_string(e->to) + "->" +
+                  std::to_string(e->from);
+    if (options_.fault_injector) {
+      e->fwd->set_fault_injector(options_.fault_injector, e->fwd_name);
+      e->bwd->set_fault_injector(options_.fault_injector, e->bwd_name);
+    }
     stages_[static_cast<std::size_t>(e->from)].out_edges.push_back(e.get());
     stages_[static_cast<std::size_t>(e->to)].in_edges.push_back(e.get());
     edges_.push_back(std::move(e));
@@ -128,9 +146,40 @@ PipelineTrainer::PipelineTrainer(const TaskGraph& g,
               stage_of_task[static_cast<std::size_t>(
                   g.value(loss_value_).producer)])]
       .owns_loss = true;
+
+  if (options_.initial_opt_state) {
+    for (Stage& st : stages_) {
+      OptStateMap shard;
+      for (const auto& [v, s] : *options_.initial_opt_state)
+        if (st.params.count(v)) shard.emplace(v, s);
+      st.opt.import_state(shard, options_.initial_opt_step);
+    }
+  }
+}
+
+TensorMap PipelineTrainer::gather_params() const {
+  TensorMap all;
+  for (const Stage& st : stages_)
+    for (const auto& [v, t] : st.params) all.emplace(v, t);
+  return all;
+}
+
+OptStateMap PipelineTrainer::gather_opt_state() const {
+  OptStateMap all;
+  for (const Stage& st : stages_)
+    for (auto& [v, s] : st.opt.export_state()) all.emplace(v, std::move(s));
+  return all;
+}
+
+std::int64_t PipelineTrainer::opt_step_count() const {
+  std::int64_t t = 0;
+  for (const Stage& st : stages_)
+    t = std::max(t, st.opt.step_count());
+  return t;
 }
 
 void PipelineTrainer::abort_pipeline() {
+  aborted_.store(true);
   for (auto& e : edges_) {
     e->fwd->close();
     e->bwd->close();
@@ -176,14 +225,36 @@ void PipelineTrainer::run_stage(Stage& stage,
   };
   std::vector<Ctx> ctxs(static_cast<std::size_t>(MB));
 
+  // Receive with the configured retry discipline. Timeouts (bounded waits
+  // expiring or injected message faults) are retried with exponential
+  // backoff — accounted into the report, not slept — until the attempt
+  // budget runs out; a closed channel means a peer aborted.
+  const RetryPolicy& rp = options_.retry;
+  const int max_attempts = std::max(1, rp.max_attempts);
+  const auto recv_retry =
+      [&](Endpoint& ep, const std::string& name) -> std::optional<TensorMap> {
+    double backoff = rp.backoff_base_s;
+    for (int a = 0; a < max_attempts; ++a) {
+      RecvStatus st = RecvStatus::Closed;
+      std::optional<TensorMap> m = ep.recv(&st, rp.recv_timeout_s);
+      if (st == RecvStatus::Ok) return m;
+      if (st == RecvStatus::Closed) return std::nullopt;
+      stage.report.retries += 1;
+      stage.report.backoff_seconds += backoff;
+      backoff *= rp.backoff_factor;
+    }
+    throw StageTimeoutError(stage.index, name, max_attempts);
+  };
+
   // ---- forward flush -------------------------------------------------------
   for (int j = 0; j < MB; ++j) {
+    if (options_.stage_hook) options_.stage_hook(stage.index, j);
     Ctx& ctx = ctxs[static_cast<std::size_t>(j)];
     TensorMap values = stage.params;
     for (ValueId v : stage.input_values)
       values[v] = microbatches[static_cast<std::size_t>(j)].at(v);
     for (Edge* e : stage.in_edges) {
-      std::optional<TensorMap> m = e->fwd->recv();
+      std::optional<TensorMap> m = recv_retry(*e->fwd, e->fwd_name);
       if (!m) throw PipelineAborted{};
       for (auto& [v, t] : *m) values[v] = std::move(t);
     }
@@ -216,7 +287,7 @@ void PipelineTrainer::run_stage(Stage& stage,
     if (stage.owns_loss)
       grads.emplace(loss_value_, Tensor::full(Shape{}, seed_grad));
     for (Edge* e : stage.out_edges) {
-      std::optional<TensorMap> gm = e->bwd->recv();
+      std::optional<TensorMap> gm = recv_retry(*e->bwd, e->bwd_name);
       if (!gm) throw PipelineAborted{};
       for (auto& [v, t] : *gm) accumulate_grad(grads, v, std::move(t));
     }
@@ -256,15 +327,47 @@ void PipelineTrainer::run_stage(Stage& stage,
 
 float PipelineTrainer::step(const std::vector<TensorMap>& microbatches) {
   if (microbatches.empty()) return 0;
+  if (aborted_.exchange(false)) {
+    // The previous step was aborted; reopen the endpoints so this one can
+    // run (stale in-flight messages are discarded, counters preserved).
+    for (auto& e : edges_) {
+      e->fwd->reopen();
+      e->bwd->reopen();
+    }
+  }
+
+  // Transactional snapshot: deep-clone every stage's parameter shard and
+  // optimizer state so a failed step can roll back bit-exactly (Tensor
+  // copies are shallow — the running step mutates the originals in place).
+  struct StageSnapshot {
+    TensorMap params;
+    OptStateMap opt_state;
+    std::int64_t opt_step = 0;
+  };
+  std::vector<StageSnapshot> snapshot;
+  if (options_.transactional) {
+    snapshot.reserve(stages_.size());
+    for (const Stage& st : stages_) {
+      StageSnapshot s;
+      for (const auto& [v, t] : st.params) s.params.emplace(v, t.clone());
+      s.opt_state = st.opt.export_state();
+      s.opt_step = st.opt.step_count();
+      snapshot.push_back(std::move(s));
+    }
+  }
+
   double loss_sum = 0;
   std::exception_ptr error;
   std::mutex error_mu;
+  std::size_t done = 0;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
   std::vector<std::thread> threads;
   threads.reserve(stages_.size());
   for (std::size_t si = 0; si < stages_.size(); ++si) {
     Stage& st = stages_[si];
     threads.emplace_back([this, si, &st, &microbatches, &loss_sum, &error,
-                          &error_mu] {
+                          &error_mu, &done, &done_mu, &done_cv] {
       obs::set_thread_name("stage-" + std::to_string(si));
       try {
         obs::Scope sc(
@@ -281,11 +384,44 @@ float PipelineTrainer::step(const std::vector<TensorMap>& microbatches) {
                                           << " failed; aborting pipeline");
         abort_pipeline();
       }
+      {
+        std::lock_guard<std::mutex> lk(done_mu);
+        ++done;
+      }
+      done_cv.notify_one();
     });
+  }
+  bool deadline_hit = false;
+  if (options_.step_deadline_s > 0) {
+    std::unique_lock<std::mutex> lk(done_mu);
+    if (!done_cv.wait_for(
+            lk, std::chrono::duration<double>(options_.step_deadline_s),
+            [&] { return done == stages_.size(); })) {
+      deadline_hit = true;
+      lk.unlock();
+      RANNC_LOG_ERROR("pipeline step exceeded deadline of "
+                      << options_.step_deadline_s << "s; aborting pipeline");
+      abort_pipeline();
+    }
   }
   for (std::thread& t : threads) t.join();
   collect_comm_reports();
-  if (error) std::rethrow_exception(error);
+  if (deadline_hit && !error)
+    error = std::make_exception_ptr(StepDeadlineError(
+        "pipeline step exceeded deadline of " +
+        std::to_string(options_.step_deadline_s) + "s"));
+  if (error) {
+    if (options_.transactional) {
+      for (std::size_t s = 0; s < stages_.size(); ++s) {
+        stages_[s].params = std::move(snapshot[s].params);
+        stages_[s].opt.import_state(snapshot[s].opt_state, snapshot[s].opt_step);
+      }
+      RANNC_LOG_WARN(
+          "pipeline step failed; rolled parameters and optimizer state back "
+          "to the last completed step");
+    }
+    std::rethrow_exception(error);
+  }
   return static_cast<float>(loss_sum / static_cast<double>(microbatches.size()));
 }
 

@@ -14,10 +14,14 @@
 // are themselves deterministic here).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "autodiff/interpreter.h"
@@ -27,6 +31,20 @@
 #include "runtime/optimizer.h"
 
 namespace rannc {
+
+/// Retry discipline for boundary receives. A receive that times out (either
+/// a bounded channel wait expiring or an injected message fault) is retried
+/// up to `max_attempts` total attempts with exponential backoff. Backoff is
+/// *accounted, not slept*: the delay accrues to `StageReport::
+/// backoff_seconds` deterministically, so retry behaviour is identical
+/// across hosts and thread interleavings.
+struct RetryPolicy {
+  int max_attempts = 1;          ///< total delivery attempts per message
+  double backoff_base_s = 1e-3;  ///< simulated delay before the 1st retry
+  double backoff_factor = 2.0;   ///< multiplier per subsequent retry
+  /// Wall-clock bound on each channel wait; 0 blocks until data or close.
+  double recv_timeout_s = 0;
+};
 
 struct PipelineOptions {
   OptimizerConfig opt;
@@ -40,6 +58,36 @@ struct PipelineOptions {
   /// comm time is reported next to measured compute time. Stage `s` is
   /// pinned to device `s` for link-class selection.
   std::optional<ClusterSpec> cluster;
+
+  // -- resilience -----------------------------------------------------------
+  /// Receive retry/backoff discipline for every boundary endpoint.
+  RetryPolicy retry;
+  /// Bound on the wall-clock duration of one `step` call; when it expires
+  /// the pipeline is aborted and `step` throws StepDeadlineError. 0 means
+  /// unbounded.
+  double step_deadline_s = 0;
+  /// Transactional steps: on any failure, parameters and optimizer state
+  /// roll back to their values at the start of the failed step before the
+  /// error is rethrown, so a recovery layer can resume from the last
+  /// completed optimizer step.
+  bool transactional = true;
+  /// Deterministic message-fault oracle attached to every boundary
+  /// endpoint (channels named "fwd <from>-><to>" / "bwd <to>-><from>").
+  std::shared_ptr<const comm::MessageFaultInjector> fault_injector;
+  /// Elastic resume: parameter values to adopt (by ValueId, deep-copied)
+  /// instead of fresh `seed` initialization; absent ids fall back to the
+  /// seeded init so a shrunk relaunch can reuse surviving weights.
+  std::shared_ptr<const TensorMap> initial_params;
+  /// Elastic resume: optimizer state to seed stage optimizers with (each
+  /// stage imports the entries of its own parameter shard) at step
+  /// `initial_opt_step`.
+  std::shared_ptr<const OptStateMap> initial_opt_state;
+  std::int64_t initial_opt_step = 0;
+  /// Test/fault-injection seam: called as (stage, microbatch) at the start
+  /// of every forward microbatch, from the stage's own thread. Lets a
+  /// harness stall a stage to exercise the step deadline. Must be
+  /// thread-safe.
+  std::function<void(int, int)> stage_hook;
 };
 
 /// Cumulative per-stage execution report (across all `step` calls).
@@ -48,6 +96,27 @@ struct StageReport {
   double comm_seconds = 0;     ///< simulated fabric transfer time
   std::int64_t bytes_in = 0;   ///< boundary payload received
   std::int64_t bytes_out = 0;  ///< boundary payload sent
+  std::int64_t retries = 0;    ///< boundary receives retried after timeout
+  double backoff_seconds = 0;  ///< simulated exponential-backoff delay
+};
+
+/// A stage exhausted `RetryPolicy::max_attempts` waiting for one message.
+class StageTimeoutError : public std::runtime_error {
+ public:
+  StageTimeoutError(int stage, const std::string& channel, int attempts)
+      : std::runtime_error("stage " + std::to_string(stage) + ": receive on " +
+                           channel + " timed out after " +
+                           std::to_string(attempts) + " attempts"),
+        stage_(stage) {}
+  [[nodiscard]] int stage() const { return stage_; }
+
+ private:
+  int stage_;
+};
+
+/// `PipelineOptions::step_deadline_s` expired before all stages finished.
+class StepDeadlineError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
 };
 
 class PipelineTrainer {
@@ -59,8 +128,10 @@ class PipelineTrainer {
 
   /// One synchronous pipeline step over the given microbatches; returns the
   /// mean loss. If any stage throws, the remaining stages are unblocked by
-  /// closing the fabric endpoints and the first exception is rethrown
-  /// (parameter state is then undefined).
+  /// closing the fabric endpoints and the first exception is rethrown;
+  /// under `PipelineOptions::transactional` (the default) parameters and
+  /// optimizer state are first rolled back to their pre-step values, so a
+  /// failed step is a no-op on training state.
   float step(const std::vector<TensorMap>& microbatches);
 
   [[nodiscard]] std::size_t num_stages() const { return stages_.size(); }
@@ -68,6 +139,13 @@ class PipelineTrainer {
   [[nodiscard]] const TensorMap& stage_params(std::size_t s) const {
     return stages_[s].params;
   }
+  /// All parameters across stages, merged into one map (shallow copies).
+  [[nodiscard]] TensorMap gather_params() const;
+  /// Optimizer state across stages, merged (deep copies) — together with
+  /// `opt_step_count` this is everything a successor trainer needs to
+  /// resume training after elastic re-partitioning.
+  [[nodiscard]] OptStateMap gather_opt_state() const;
+  [[nodiscard]] std::int64_t opt_step_count() const;
   /// Cumulative compute/comm report for stage `s`. Comm time is accrued
   /// only when `PipelineOptions::cluster` is set.
   [[nodiscard]] const StageReport& stage_report(std::size_t s) const {
@@ -81,8 +159,12 @@ class PipelineTrainer {
     std::vector<ValueId> values;
     std::unique_ptr<Endpoint> fwd;
     std::unique_ptr<Endpoint> bwd;
+    /// Channel names ("fwd <from>-><to>" / "bwd <to>-><from>") used as
+    /// fault-injector keys and in timeout diagnostics.
+    std::string fwd_name, bwd_name;
   };
   struct Stage {
+    int index = 0;
     std::vector<TaskId> tasks;
     TensorMap params;
     std::vector<ValueId> input_values;  ///< graph Inputs this stage consumes
@@ -104,6 +186,9 @@ class PipelineTrainer {
   std::vector<Stage> stages_;
   std::vector<std::unique_ptr<Edge>> edges_;
   ValueId loss_value_ = -1;
+  /// Set by abort_pipeline; the next step() reopens the endpoints so a
+  /// rolled-back trainer can retry.
+  std::atomic<bool> aborted_{false};
 };
 
 }  // namespace rannc

@@ -1,0 +1,189 @@
+#include "cli_args.h"
+
+#include <iostream>
+#include <stdexcept>
+
+namespace rannc {
+namespace cli {
+
+void ArgParser::section(const std::string& title) {
+  entries_.push_back({Kind::Section, title, "", "", nullptr});
+}
+
+void ArgParser::flag(const std::string& name, bool* dst,
+                     const std::string& help) {
+  entries_.push_back({Kind::Switch, name, "", help, dst});
+}
+
+void ArgParser::opt(const std::string& name, std::string* dst,
+                    const std::string& value, const std::string& help) {
+  entries_.push_back({Kind::String, name, value, help, dst});
+}
+
+void ArgParser::opt(const std::string& name, std::int64_t* dst,
+                    const std::string& value, const std::string& help) {
+  entries_.push_back({Kind::Int64, name, value, help, dst});
+}
+
+void ArgParser::opt(const std::string& name, int* dst,
+                    const std::string& value, const std::string& help) {
+  entries_.push_back({Kind::Int, name, value, help, dst});
+}
+
+void ArgParser::opt(const std::string& name, double* dst,
+                    const std::string& value, const std::string& help) {
+  entries_.push_back({Kind::Double, name, value, help, dst});
+}
+
+const ArgParser::Entry* ArgParser::find(const std::string& name) const {
+  for (const Entry& e : entries_)
+    if (e.kind != Kind::Section && e.name == name) return &e;
+  return nullptr;
+}
+
+void ArgParser::print_usage(std::ostream& os) const {
+  os << "Usage: " << prog_ << " [options]\n" << summary_ << "\n";
+  for (const Entry& e : entries_) {
+    if (e.kind == Kind::Section) {
+      os << e.name << ":\n";
+      continue;
+    }
+    std::string head = "  " + e.name;
+    if (e.kind != Kind::Switch) head += " <" + e.value + ">";
+    os << head;
+    for (std::size_t n = head.size(); n < 28; ++n) os << ' ';
+    os << e.help << "\n";
+  }
+}
+
+ArgParser::Status ArgParser::parse(int argc, char** argv) const {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      print_usage(std::cerr);
+      return Status::Help;
+    }
+    const Entry* e = find(a);
+    if (!e) {
+      std::cerr << prog_ << ": unknown argument '" << a
+                << "' (try --help)\n";
+      return Status::Error;
+    }
+    if (e->kind == Kind::Switch) {
+      *static_cast<bool*>(e->dst) = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << prog_ << ": missing value for '" << a << "'\n";
+      return Status::Error;
+    }
+    const std::string v = argv[++i];
+    try {
+      switch (e->kind) {
+        case Kind::String:
+          *static_cast<std::string*>(e->dst) = v;
+          break;
+        case Kind::Int64:
+          *static_cast<std::int64_t*>(e->dst) = std::stoll(v);
+          break;
+        case Kind::Int:
+          *static_cast<int*>(e->dst) = static_cast<int>(std::stoll(v));
+          break;
+        case Kind::Double:
+          *static_cast<double*>(e->dst) = std::stod(v);
+          break;
+        case Kind::Switch:
+        case Kind::Section:
+          break;
+      }
+    } catch (const std::exception&) {
+      std::cerr << prog_ << ": bad value '" << v << "' for '" << a << "'\n";
+      return Status::Error;
+    }
+  }
+  return Status::Ok;
+}
+
+void register_model_flags(ArgParser& p, ModelOptions& o) {
+  p.section("Model (0/unset = the builder's default)");
+  p.opt("--model", &o.model, "name", "mlp | bert | gpt2 | t5 | resnet");
+  p.opt("--layers", &o.layers, "N", "transformer layers");
+  p.opt("--hidden", &o.hidden, "N", "hidden width");
+  p.opt("--seq", &o.seq, "N", "sequence length");
+  p.opt("--vocab", &o.vocab, "N", "vocabulary size");
+  p.opt("--heads", &o.heads, "N", "attention heads");
+  p.opt("--depth", &o.depth, "N", "resnet depth");
+  p.opt("--width", &o.width, "N", "resnet width factor");
+  p.opt("--image", &o.image, "N", "resnet image size");
+  p.opt("--classes", &o.classes, "N", "output classes");
+  p.opt("--batch", &o.batch, "N", "mlp per-step batch");
+  p.opt("--input-dim", &o.input_dim, "N", "mlp input dimension");
+}
+
+BuiltModel build_model(const ModelOptions& o) {
+  if (o.model == "mlp") {
+    MlpConfig c;
+    if (o.input_dim) c.input_dim = o.input_dim;
+    if (o.batch) c.batch = o.batch;
+    if (o.classes) c.num_classes = o.classes;
+    if (o.hidden) c.hidden_dims.assign(o.layers ? o.layers : 2, o.hidden);
+    return build_mlp(c);
+  }
+  if (o.model == "bert") {
+    BertConfig c;
+    if (o.hidden) c.hidden = o.hidden;
+    if (o.layers) c.layers = o.layers;
+    if (o.seq) c.seq_len = o.seq;
+    if (o.vocab) c.vocab = o.vocab;
+    if (o.heads) c.heads = o.heads;
+    return build_bert(c);
+  }
+  if (o.model == "gpt2") {
+    Gpt2Config c;
+    if (o.hidden) c.hidden = o.hidden;
+    if (o.layers) c.layers = o.layers;
+    if (o.seq) c.seq_len = o.seq;
+    if (o.vocab) c.vocab = o.vocab;
+    if (o.heads) c.heads = o.heads;
+    return build_gpt2(c);
+  }
+  if (o.model == "t5") {
+    T5Config c;
+    if (o.hidden) c.hidden = o.hidden;
+    if (o.layers) c.layers = o.layers;
+    if (o.seq) c.seq_len = o.seq;
+    if (o.vocab) c.vocab = o.vocab;
+    if (o.heads) c.heads = o.heads;
+    return build_t5(c);
+  }
+  if (o.model == "resnet") {
+    ResNetConfig c;
+    if (o.depth) c.depth = static_cast<int>(o.depth);
+    if (o.width) c.width_factor = o.width;
+    if (o.image) c.image_size = o.image;
+    if (o.classes) c.num_classes = o.classes;
+    return build_resnet(c);
+  }
+  throw std::invalid_argument(o.model.empty()
+                                  ? std::string("--model is required")
+                                  : "unknown model '" + o.model + "'");
+}
+
+void register_cluster_flags(ArgParser& p, ClusterOptions& o) {
+  p.section("Cluster / search (0/unset = config default)");
+  p.opt("--nodes", &o.nodes, "N", "cluster nodes");
+  p.opt("--devices-per-node", &o.devices_per_node, "N", "devices per node");
+  p.opt("--batch-size", &o.batch_size, "N", "global batch size");
+  p.opt("--threads", &o.threads, "N",
+        "search worker threads (0 = RANNC_THREADS env, else 1)");
+}
+
+void apply_cluster(const ClusterOptions& o, PartitionConfig& cfg) {
+  if (o.nodes) cfg.cluster.num_nodes = o.nodes;
+  if (o.devices_per_node) cfg.cluster.devices_per_node = o.devices_per_node;
+  if (o.batch_size) cfg.batch_size = o.batch_size;
+  cfg.threads = o.threads;
+}
+
+}  // namespace cli
+}  // namespace rannc

@@ -1,0 +1,105 @@
+// Shared command-line handling for the rannc-* tools.
+//
+// ArgParser is a deliberately small typed-flag parser: every tool
+// registers its flags once (name, destination, value name, help line) and
+// gets consistent behaviour for free — `--help`/`-h` prints a grouped
+// usage page, an unknown flag or a missing value is a diagnosed error, and
+// numeric values are range-checked by std::stoll instead of silently
+// truncated.
+//
+// The model/cluster flag groups every tool shares (which model builder to
+// run and how to shape it, plus the cluster geometry and search thread
+// count) live here too, so `rannc-lint`, `rannc-trace` and `rannc-sim`
+// accept identical spellings and build identical graphs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rannc.h"
+
+namespace rannc {
+namespace cli {
+
+class ArgParser {
+ public:
+  enum class Status {
+    Ok,     ///< all arguments consumed
+    Help,   ///< --help/-h was given; usage already printed
+    Error,  ///< bad flag/value; diagnostic already printed
+  };
+
+  ArgParser(std::string prog, std::string summary)
+      : prog_(std::move(prog)), summary_(std::move(summary)) {}
+
+  /// Starts a new group in the --help output.
+  void section(const std::string& title);
+
+  /// Boolean switch (no value).
+  void flag(const std::string& name, bool* dst, const std::string& help);
+
+  /// Value-taking options; `value` names the operand in the usage page.
+  void opt(const std::string& name, std::string* dst,
+           const std::string& value, const std::string& help);
+  void opt(const std::string& name, std::int64_t* dst,
+           const std::string& value, const std::string& help);
+  void opt(const std::string& name, int* dst, const std::string& value,
+           const std::string& help);
+  void opt(const std::string& name, double* dst, const std::string& value,
+           const std::string& help);
+
+  /// Parses argv into the registered destinations. Prints its own
+  /// diagnostics (and the usage page for Help) to stderr.
+  Status parse(int argc, char** argv) const;
+
+  void print_usage(std::ostream& os) const;
+
+ private:
+  enum class Kind { Section, Switch, String, Int64, Int, Double };
+  struct Entry {
+    Kind kind;
+    std::string name;   // "--flag", or the section title
+    std::string value;  // operand name shown in help
+    std::string help;
+    void* dst = nullptr;
+  };
+  const Entry* find(const std::string& name) const;
+
+  std::string prog_, summary_;
+  std::vector<Entry> entries_;
+};
+
+/// Shape parameters of the built-in model builders; 0/unset keeps the
+/// builder's default. The same option set covers every family — each
+/// builder reads the fields that apply to it.
+struct ModelOptions {
+  std::string model;  ///< mlp | bert | gpt2 | t5 | resnet
+  std::int64_t layers = 0, hidden = 0, seq = 0, vocab = 0, heads = 0;
+  std::int64_t depth = 0, width = 0, image = 0, classes = 0;
+  std::int64_t batch = 0, input_dim = 0;
+};
+
+/// Registers --model plus the per-family shape flags into `p`.
+void register_model_flags(ArgParser& p, ModelOptions& o);
+
+/// Builds the selected model; throws std::invalid_argument for an unknown
+/// or empty --model.
+BuiltModel build_model(const ModelOptions& o);
+
+/// Cluster geometry and partition-search knobs shared by the tools.
+struct ClusterOptions {
+  int nodes = 0, devices_per_node = 0;
+  std::int64_t batch_size = 0;
+  int threads = 0;
+};
+
+/// Registers --nodes/--devices-per-node/--batch-size/--threads into `p`.
+void register_cluster_flags(ArgParser& p, ClusterOptions& o);
+
+/// Overlays the non-zero fields onto a PartitionConfig.
+void apply_cluster(const ClusterOptions& o, PartitionConfig& cfg);
+
+}  // namespace cli
+}  // namespace rannc

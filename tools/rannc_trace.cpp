@@ -23,101 +23,20 @@
 #include <string>
 #include <vector>
 
-#include "comm/fabric.h"
-#include "models/bert.h"
-#include "models/gpt2.h"
-#include "models/mlp.h"
-#include "models/resnet.h"
-#include "models/t5.h"
-#include "obs/log.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "partition/auto_partitioner.h"
-#include "pipeline/schedule.h"
+#include "cli_args.h"
+#include "rannc.h"
 
 namespace {
 
 using namespace rannc;
 
 struct Options {
-  std::string model;
-  std::int64_t layers = 0, hidden = 0, seq = 0, vocab = 0, heads = 0;
-  std::int64_t depth = 0, width = 0, image = 0, classes = 0;
-  std::int64_t batch = 0, input_dim = 0;
-  int nodes = 0, devices_per_node = 0;
-  std::int64_t batch_size = 0;
-  int threads = 0;
+  cli::ModelOptions model;
+  cli::ClusterOptions cluster;
   std::string trace_file = "trace.json";
   std::string metrics_file = "metrics.json";
   bool quiet = false;
 };
-
-int usage(const char* argv0) {
-  std::cerr
-      << "Usage: " << argv0
-      << " --model <mlp|bert|gpt2|t5|resnet> [options]\n"
-         "Model options (0/unset = the builder's default):\n"
-         "  --layers N --hidden N --seq N --vocab N --heads N   transformers\n"
-         "  --depth N --width N --image N --classes N           resnet\n"
-         "  --batch N --input-dim N                             mlp\n"
-         "Cluster / search:\n"
-         "  --nodes N --devices-per-node N --batch-size N\n"
-         "  --threads N    worker threads for the search (0 = RANNC_THREADS\n"
-         "                 env, else 1); virtual-time trace events are\n"
-         "                 bit-identical at any thread count\n"
-         "Outputs:\n"
-         "  --trace FILE   Chrome trace-event JSON (default trace.json)\n"
-         "  --metrics FILE metrics snapshot JSON (default metrics.json)\n"
-         "  --quiet        suppress the summary on stdout\n";
-  return 2;
-}
-
-BuiltModel build(const Options& o) {
-  if (o.model == "mlp") {
-    MlpConfig c;
-    if (o.input_dim) c.input_dim = o.input_dim;
-    if (o.batch) c.batch = o.batch;
-    if (o.classes) c.num_classes = o.classes;
-    if (o.hidden) c.hidden_dims.assign(o.layers ? o.layers : 2, o.hidden);
-    return build_mlp(c);
-  }
-  if (o.model == "bert") {
-    BertConfig c;
-    if (o.hidden) c.hidden = o.hidden;
-    if (o.layers) c.layers = o.layers;
-    if (o.seq) c.seq_len = o.seq;
-    if (o.vocab) c.vocab = o.vocab;
-    if (o.heads) c.heads = o.heads;
-    return build_bert(c);
-  }
-  if (o.model == "gpt2") {
-    Gpt2Config c;
-    if (o.hidden) c.hidden = o.hidden;
-    if (o.layers) c.layers = o.layers;
-    if (o.seq) c.seq_len = o.seq;
-    if (o.vocab) c.vocab = o.vocab;
-    if (o.heads) c.heads = o.heads;
-    return build_gpt2(c);
-  }
-  if (o.model == "t5") {
-    T5Config c;
-    if (o.hidden) c.hidden = o.hidden;
-    if (o.layers) c.layers = o.layers;
-    if (o.seq) c.seq_len = o.seq;
-    if (o.vocab) c.vocab = o.vocab;
-    if (o.heads) c.heads = o.heads;
-    return build_t5(c);
-  }
-  if (o.model == "resnet") {
-    ResNetConfig c;
-    if (o.depth) c.depth = static_cast<int>(o.depth);
-    if (o.width) c.width_factor = o.width;
-    if (o.image) c.image_size = o.image;
-    if (o.classes) c.num_classes = o.classes;
-    return build_resnet(c);
-  }
-  throw std::invalid_argument("unknown model '" + o.model + "'");
-}
 
 /// Replays the plan's communication pattern on the discrete-event fabric:
 /// per-microbatch activations between adjacent stages (replica 0, first
@@ -176,13 +95,10 @@ int run(const Options& o) {
   obs::TraceRecorder rec;
   obs::set_recorder(&rec);
 
-  const BuiltModel m = build(o);
+  const BuiltModel m = cli::build_model(o.model);
 
   PartitionConfig cfg;
-  if (o.nodes) cfg.cluster.num_nodes = o.nodes;
-  if (o.devices_per_node) cfg.cluster.devices_per_node = o.devices_per_node;
-  if (o.batch_size) cfg.batch_size = o.batch_size;
-  cfg.threads = o.threads;
+  cli::apply_cluster(o.cluster, cfg);
   const PartitionResult plan = auto_partition(m.graph, cfg);
   if (!o.quiet) std::cout << describe(plan);
 
@@ -229,67 +145,22 @@ int run(const Options& o) {
 
 int main(int argc, char** argv) {
   Options o;
-  auto need = [&](int& i) -> const char* {
-    if (i + 1 >= argc) return nullptr;
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    const char* v = nullptr;
-    auto num = [&](std::int64_t& dst) {
-      v = need(i);
-      if (v) dst = std::stoll(v);
-      return v != nullptr;
-    };
-    bool ok = true;
-    if (a == "--model") {
-      v = need(i);
-      if (v) o.model = v;
-      ok = v != nullptr;
-    } else if (a == "--layers") ok = num(o.layers);
-    else if (a == "--hidden") ok = num(o.hidden);
-    else if (a == "--seq") ok = num(o.seq);
-    else if (a == "--vocab") ok = num(o.vocab);
-    else if (a == "--heads") ok = num(o.heads);
-    else if (a == "--depth") ok = num(o.depth);
-    else if (a == "--width") ok = num(o.width);
-    else if (a == "--image") ok = num(o.image);
-    else if (a == "--classes") ok = num(o.classes);
-    else if (a == "--batch") ok = num(o.batch);
-    else if (a == "--input-dim") ok = num(o.input_dim);
-    else if (a == "--batch-size") ok = num(o.batch_size);
-    else if (a == "--nodes") {
-      std::int64_t n = 0;
-      ok = num(n);
-      o.nodes = static_cast<int>(n);
-    } else if (a == "--devices-per-node") {
-      std::int64_t n = 0;
-      ok = num(n);
-      o.devices_per_node = static_cast<int>(n);
-    } else if (a == "--threads") {
-      std::int64_t n = 0;
-      ok = num(n);
-      o.threads = static_cast<int>(n);
-    } else if (a == "--trace") {
-      v = need(i);
-      if (v) o.trace_file = v;
-      ok = v != nullptr;
-    } else if (a == "--metrics") {
-      v = need(i);
-      if (v) o.metrics_file = v;
-      ok = v != nullptr;
-    } else if (a == "--quiet") o.quiet = true;
-    else if (a == "--help" || a == "-h") return usage(argv[0]);
-    else {
-      std::cerr << "unknown argument '" << a << "'\n";
-      return usage(argv[0]);
-    }
-    if (!ok) {
-      std::cerr << "missing value for '" << a << "'\n";
-      return usage(argv[0]);
-    }
+  cli::ArgParser p("rannc-trace",
+                   "Runs the partition search plus a virtual-time replay of "
+                   "the winning plan and writes trace/metrics JSON.");
+  cli::register_model_flags(p, o.model);
+  cli::register_cluster_flags(p, o.cluster);
+  p.section("Outputs");
+  p.opt("--trace", &o.trace_file, "FILE",
+        "Chrome trace-event JSON (default trace.json)");
+  p.opt("--metrics", &o.metrics_file, "FILE",
+        "metrics snapshot JSON (default metrics.json)");
+  p.flag("--quiet", &o.quiet, "suppress the summary on stdout");
+  if (p.parse(argc, argv) != cli::ArgParser::Status::Ok) return 2;
+  if (o.model.model.empty()) {
+    p.print_usage(std::cerr);
+    return 2;
   }
-  if (o.model.empty()) return usage(argv[0]);
   try {
     return run(o);
   } catch (const std::exception& e) {
