@@ -1,8 +1,16 @@
 #include "partition/profile_memo.h"
 
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "obs/trace.h"
+#include "util/json.h"
 
 namespace rannc {
 
@@ -29,6 +37,78 @@ RangeProfileFn ProfileMemo::fn() {
                 int num_stages) -> StageProfile {
     return lookup(lo, hi, bsize, microbatches, num_stages);
   };
+}
+
+std::size_t ProfileMemo::size() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    n += sh.map.size();
+  }
+  return n;
+}
+
+std::string ProfileMemo::to_json() const {
+  std::vector<std::pair<Key, StageProfile>> entries;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    entries.insert(entries.end(), sh.map.begin(), sh.map.end());
+  }
+  // Canonical order: by key, so shard layout and fill order never leak
+  // into the serialized form.
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(a.first.lo, a.first.hi, a.first.bsize,
+                              a.first.inflight, a.first.checkpointing) <
+                     std::tie(b.first.lo, b.first.hi, b.first.bsize,
+                              b.first.inflight, b.first.checkpointing);
+            });
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "{\"version\": 1, \"entries\": [";
+  bool first = true;
+  for (const auto& [k, p] : entries) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  {\"lo\": " << k.lo << ", \"hi\": " << k.hi
+       << ", \"bsize\": " << k.bsize << ", \"inflight\": " << k.inflight
+       << ", \"ckpt\": " << (k.checkpointing ? "true" : "false")
+       << ", \"t_f\": " << p.t_f << ", \"t_b\": " << p.t_b
+       << ", \"mem\": " << p.mem << "}";
+  }
+  os << (first ? "]}" : "\n]}");
+  return os.str();
+}
+
+void ProfileMemo::from_json(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  if (!doc.is_object() || doc.geti("version", -1) != 1)
+    throw std::invalid_argument("ProfileMemo: unsupported snapshot version");
+  const json::Value* entries = doc.find("entries");
+  if (entries == nullptr || !entries->is_array())
+    throw std::invalid_argument("ProfileMemo: snapshot has no entries array");
+  for (const json::Value& e : entries->items) {
+    if (!e.is_object())
+      throw std::invalid_argument("ProfileMemo: entry is not an object");
+    for (const char* field : {"lo", "hi", "bsize", "inflight", "ckpt", "t_f",
+                              "t_b", "mem"})
+      if (e.find(field) == nullptr)
+        throw std::invalid_argument(
+            std::string("ProfileMemo: entry missing field '") + field + "'");
+    Key k;
+    k.lo = static_cast<std::int32_t>(e.geti("lo"));
+    k.hi = static_cast<std::int32_t>(e.geti("hi"));
+    k.bsize = e.geti("bsize");
+    k.inflight = e.geti("inflight");
+    k.checkpointing = e.getb("ckpt");
+    StageProfile p;
+    p.t_f = e.getd("t_f");
+    p.t_b = e.getd("t_b");
+    p.mem = e.geti("mem");
+    Shard& sh = shards_[KeyHash{}(k) % kShards];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.map.emplace(k, p);
+  }
 }
 
 StageProfile ProfileMemo::lookup(int lo, int hi, std::int64_t bsize,

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "partition/stage_dp.h"
@@ -64,6 +65,23 @@ class ProfileMemo {
     return misses_.load(std::memory_order_relaxed);
   }
 
+  /// Number of cached profiles across all shards.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Exact JSON snapshot of the cache. Entries are emitted sorted by key
+  /// (not by shard or hash order), so two memos holding the same profiles
+  /// serialize byte-identically regardless of fill order or thread count;
+  /// doubles are printed at max_digits10 so from_json restores them
+  /// bit-exactly. Takes the shard locks; safe against concurrent lookups.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Merges the entries of a to_json snapshot into this memo (existing
+  /// entries win, matching the lookup no-op-on-second-emplace policy).
+  /// Throws std::invalid_argument on malformed JSON, a missing/unknown
+  /// version, or entries with missing fields — callers treat that as a
+  /// cache miss, never as fatal.
+  void from_json(const std::string& text);
+
  private:
   struct Key {
     std::int32_t lo = 0, hi = 0;
@@ -88,7 +106,7 @@ class ProfileMemo {
   };
   static constexpr unsigned kShards = 64;
   struct Shard {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::unordered_map<Key, StageProfile, KeyHash> map;
   };
 

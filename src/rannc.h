@@ -22,6 +22,7 @@
 //   baselines   Megatron-LM / GPipe-Model / PipeDream comparisons
 //   runtime     single-device trainer and the pipelined trainer
 //   resilience  fault plans, elastic recovery, fault-replay simulator
+//   serve       graph fingerprints, durable plan store, PlanServer
 #pragma once
 
 // ---- observability ---------------------------------------------------------
@@ -82,3 +83,9 @@
 #include "resilience/fault_plan.h"
 #include "resilience/recovery.h"
 #include "resilience/sim.h"
+
+// ---- serving ---------------------------------------------------------------
+#include "serve/fingerprint.h"
+#include "serve/model_zoo.h"
+#include "serve/plan_store.h"
+#include "serve/server.h"

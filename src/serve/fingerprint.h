@@ -1,0 +1,56 @@
+// Canonical 128-bit fingerprint over the task-graph IR.
+//
+// The plan store and the serving daemon key cached partition results by
+// graph *identity*: two submissions must share a cache entry exactly when
+// the partitioner would treat them identically. That rules out hashing the
+// builder's in-memory representation directly — node names, insertion
+// order of independent tasks, and builder-recorded output metadata are all
+// presentation details the search never depends on. The fingerprint
+// therefore hashes only semantic facts:
+//
+//  - op kinds and their attributes,
+//  - topology, via Weisfeiler–Lehman-style value labels: each value's
+//    label is derived from the labels of everything upstream of it, so the
+//    final multiset of labels encodes the dataflow structure without
+//    referencing ids or insertion order of independent subgraphs,
+//  - input positions (the caller feeds inputs positionally, so input order
+//    is semantic; parameters are an unordered bag reached by edges),
+//  - shapes and dtypes of intermediates *re-derived* by
+//    analysis::infer_output from the inputs — a corrupted recorded shape
+//    cannot skew the fingerprint (it only matters where it is the op's
+//    parameter, i.e. Reshape, exactly mirroring the inference contract).
+//
+// The result is invariant across process runs, RANNC_THREADS, and any
+// renaming/reordering that preserves semantics — and changes whenever an
+// op kind, attribute, shape, dtype, edge, or output marking changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/task_graph.h"
+
+namespace rannc {
+namespace serve {
+
+/// A 128-bit digest, printable as 32 lowercase hex digits.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] std::string hex() const;
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// Parses the 32-hex-digit form produced by hex(); throws
+/// std::invalid_argument on anything else.
+Fingerprint parse_fingerprint(const std::string& hex);
+
+/// Computes the canonical fingerprint. The graph must be structurally
+/// valid (analysis::verify_graph clean) — labels are derived by walking
+/// producer links, which is meaningless on a malformed graph — otherwise
+/// throws std::invalid_argument with the first diagnostic.
+Fingerprint fingerprint_graph(const TaskGraph& g);
+
+}  // namespace serve
+}  // namespace rannc

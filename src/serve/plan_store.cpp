@@ -1,0 +1,200 @@
+#include "serve/plan_store.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace rannc {
+namespace serve {
+
+namespace {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) out[15 - i] = kHex[(v >> (4 * i)) & 0xF];
+  return out;
+}
+
+std::string checksum(const StoredEntry& e) {
+  return hex16(fnv1a64(e.plan_json + '\n' + e.memo_json));
+}
+
+const char* precision_name(Precision p) {
+  return p == Precision::Mixed ? "mixed" : "fp32";
+}
+
+const char* optimizer_name(OptimizerKind o) {
+  return o == OptimizerKind::Adam ? "adam" : "sgd";
+}
+
+}  // namespace
+
+std::string profile_sig(const PartitionConfig& cfg) {
+  const DeviceSpec& d = cfg.cluster.device;
+  std::ostringstream os;
+  const auto f = [&os](const char* k, double v) {
+    os << ',' << k << '=' << obs::json_double(v);
+  };
+  os << "precision=" << precision_name(cfg.precision)
+     << ",opt=" << optimizer_name(cfg.optimizer)
+     << ",blocks=" << cfg.num_blocks
+     << ",coarsen=" << (cfg.use_coarsening ? 1 : 0);
+  f("fp32", d.fp32_flops);
+  f("fp16", d.fp16_flops);
+  f("meff", d.matmul_eff);
+  f("heff", d.fp16_eff);
+  f("bw", d.mem_bw);
+  f("bweff", d.mem_bw_eff);
+  f("ko", d.kernel_overhead);
+  f("fo", d.fused_overhead);
+  f("fl", d.fused_locality);
+  f("ibw", cfg.cluster.intra_bw);
+  f("ilat", cfg.cluster.intra_lat);
+  f("xbw", cfg.cluster.inter_bw);
+  f("xlat", cfg.cluster.inter_lat);
+  os << ",comm=" << (cfg.cluster.comm_model == CommModel::Fabric ? "fabric"
+                                                                 : "analytic");
+  return os.str();
+}
+
+std::string geom_sig(const PartitionConfig& cfg) {
+  std::ostringstream os;
+  os << "nodes=" << cfg.cluster.num_nodes
+     << ",dpn=" << cfg.cluster.devices_per_node
+     << ",bs=" << cfg.batch_size
+     << ",mem=" << cfg.cluster.device.memory_bytes
+     << ",margin=" << obs::json_double(cfg.memory_margin)
+     << ",maxcells=" << cfg.max_dp_cells;
+  return os.str();
+}
+
+PlanKey make_plan_key(const Fingerprint& fp, const PartitionConfig& cfg) {
+  return PlanKey{fp, profile_sig(cfg), geom_sig(cfg)};
+}
+
+std::string PlanKey::filename() const {
+  return fp.hex() + "-" + hex16(fnv1a64(profile_sig)) + "-" +
+         hex16(fnv1a64(geom_sig)) + ".plan.json";
+}
+
+std::string PlanKey::str() const {
+  return fp.hex() + "/" + profile_sig + "/" + geom_sig;
+}
+
+PlanStore::PlanStore(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::optional<StoredEntry> PlanStore::load_file(
+    const std::filesystem::path& path, const Fingerprint& fp,
+    const std::string& want_profile_sig,
+    const std::string* want_geom_sig) const {
+  try {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const json::Value doc = json::parse(buf.str());
+    if (doc.geti("format_version", -1) != kFormatVersion) return std::nullopt;
+    if (doc.gets("fingerprint") != fp.hex()) return std::nullopt;
+    if (doc.gets("profile_sig") != want_profile_sig) return std::nullopt;
+    if (want_geom_sig != nullptr && doc.gets("geom_sig") != *want_geom_sig)
+      return std::nullopt;
+    StoredEntry e;
+    e.plan_json = doc.gets("plan");
+    e.memo_json = doc.gets("memo");
+    e.infeasible = doc.getb("infeasible");
+    e.infeasible_reason = doc.gets("infeasible_reason");
+    if (doc.gets("checksum") != checksum(e)) return std::nullopt;
+    return e;
+  } catch (const std::exception&) {
+    // Any defect — unreadable file, bad JSON, mistyped field — is a miss.
+    return std::nullopt;
+  }
+}
+
+std::optional<StoredEntry> PlanStore::load(const PlanKey& key) const {
+  return load_file(dir_ / key.filename(), key.fp, key.profile_sig,
+                   &key.geom_sig);
+}
+
+bool PlanStore::save(const PlanKey& key, const StoredEntry& entry) const {
+  const std::filesystem::path final_path = dir_ / key.filename();
+  const std::filesystem::path tmp_path =
+      dir_ / (key.filename() + ".tmp");
+  try {
+    {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!out) return false;
+      out << "{\n"
+          << "  \"format_version\": " << kFormatVersion << ",\n"
+          << "  \"fingerprint\": \"" << key.fp.hex() << "\",\n"
+          << "  \"profile_sig\": " << obs::json_string(key.profile_sig)
+          << ",\n"
+          << "  \"geom_sig\": " << obs::json_string(key.geom_sig) << ",\n"
+          << "  \"infeasible\": " << (entry.infeasible ? "true" : "false")
+          << ",\n"
+          << "  \"infeasible_reason\": "
+          << obs::json_string(entry.infeasible_reason) << ",\n"
+          << "  \"checksum\": \"" << checksum(entry) << "\",\n"
+          << "  \"plan\": " << obs::json_string(entry.plan_json) << ",\n"
+          << "  \"memo\": " << obs::json_string(entry.memo_json) << "\n"
+          << "}\n";
+      if (!out.good()) {
+        out.close();
+        std::filesystem::remove(tmp_path);
+        return false;
+      }
+    }
+    std::filesystem::rename(tmp_path, final_path);
+    return true;
+  } catch (const std::exception&) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+    return false;
+  }
+}
+
+std::optional<std::string> PlanStore::load_sibling_memo(
+    const PlanKey& key) const {
+  const std::string prefix =
+      key.fp.hex() + "-" + hex16(fnv1a64(key.profile_sig)) + "-";
+  const std::string suffix = ".plan.json";
+  std::vector<std::string> names;
+  try {
+    for (const auto& de : std::filesystem::directory_iterator(dir_)) {
+      const std::string name = de.path().filename().string();
+      if (name.size() > prefix.size() + suffix.size() &&
+          name.compare(0, prefix.size(), prefix) == 0 &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0)
+        names.push_back(name);
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const auto e =
+        load_file(dir_ / name, key.fp, key.profile_sig, nullptr);
+    if (e && !e->memo_json.empty()) return e->memo_json;
+  }
+  return std::nullopt;
+}
+
+}  // namespace serve
+}  // namespace rannc

@@ -1,0 +1,109 @@
+// Durable, versioned plan + ProfileMemo store.
+//
+// One file per (fingerprint, profile signature, geometry signature) triple:
+// the winning PartitionResult (plan_io JSON) plus a ProfileMemo snapshot,
+// wrapped in an envelope carrying a format version, the full key (echoed
+// to guard against filename-hash collisions) and an FNV-1a checksum of the
+// payload. The store is a *cache*, so every defect on the read side —
+// unreadable file, bad JSON, wrong version, key mismatch, checksum
+// mismatch — degrades to a miss; it never throws past its API. Writes go
+// through a temp file plus std::filesystem::rename so a crashed writer can
+// leave at worst a stale .tmp, never a torn entry.
+//
+// The key splits the PartitionConfig into two signatures on purpose:
+//
+//   profile_sig — everything that enters StageProfile values: precision,
+//     optimizer, block partitioning knobs, device roofline numbers, fabric
+//     bandwidth/latency, comm model. Two searches agreeing on (fingerprint,
+//     profile_sig) satisfy ProfileMemo::set_base's rebind contract, so a
+//     miss may still warm-start from a *sibling* entry with a different
+//     geometry (load_sibling_memo).
+//   geom_sig — what remains: cluster geometry, global batch size, memory
+//     budget and the DP cell cap. Differing geometry means a different
+//     plan but reusable profiles.
+//
+// PartitionConfig::threads / profile_memo / shared_memo are deliberately
+// excluded: plans are bit-identical across all of them (the PR 3
+// guarantee), so they must not split the cache.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "partition/auto_partitioner.h"
+#include "serve/fingerprint.h"
+
+namespace rannc {
+namespace serve {
+
+/// Everything that identifies one stored plan.
+struct PlanKey {
+  Fingerprint fp;
+  std::string profile_sig;
+  std::string geom_sig;
+
+  /// "<fp-hex>-<h(profile_sig)>-<h(geom_sig)>.plan.json"
+  [[nodiscard]] std::string filename() const;
+  /// Human-readable "fp/profile_sig/geom_sig" used in traces and replies.
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+/// The cost-model half of the key (see file comment).
+std::string profile_sig(const PartitionConfig& cfg);
+/// The geometry half of the key.
+std::string geom_sig(const PartitionConfig& cfg);
+
+PlanKey make_plan_key(const Fingerprint& fp, const PartitionConfig& cfg);
+
+/// What one store entry holds: the plan (plan_io JSON; empty when the
+/// search proved the request infeasible — negative results are cacheable
+/// too, the `infeasible` flag distinguishes them) and the search's
+/// ProfileMemo snapshot (ProfileMemo::to_json form; may be empty when the
+/// search ran unmemoized).
+struct StoredEntry {
+  std::string plan_json;
+  std::string memo_json;
+  bool infeasible = false;
+  std::string infeasible_reason;
+};
+
+class PlanStore {
+ public:
+  static constexpr int kFormatVersion = 1;
+
+  /// Opens (creating if needed) the store directory. Throws
+  /// std::filesystem::filesystem_error only here — a store that cannot
+  /// even create its directory is a configuration error, unlike any
+  /// later per-entry defect.
+  explicit PlanStore(std::filesystem::path dir);
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+  /// Loads the entry for `key`; std::nullopt on miss *or any* defect
+  /// (corruption, version skew, checksum or key mismatch).
+  [[nodiscard]] std::optional<StoredEntry> load(const PlanKey& key) const;
+
+  /// Atomically persists `entry` under `key` (last writer wins). Returns
+  /// false (after cleaning up) instead of throwing on I/O failure.
+  bool save(const PlanKey& key, const StoredEntry& entry) const;
+
+  /// Memo snapshot of any valid entry sharing (fp, profile_sig) with `key`
+  /// — the warm-start donor for a geometry the store has not seen. Picks
+  /// the lexicographically first matching file for determinism.
+  [[nodiscard]] std::optional<std::string> load_sibling_memo(
+      const PlanKey& key) const;
+
+ private:
+  std::optional<StoredEntry> load_file(const std::filesystem::path& path,
+                                       const Fingerprint& fp,
+                                       const std::string& want_profile_sig,
+                                       const std::string* want_geom_sig) const;
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace serve
+}  // namespace rannc

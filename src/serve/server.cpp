@@ -1,0 +1,360 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "partition/plan_io.h"
+
+namespace rannc {
+namespace serve {
+
+namespace {
+
+/// Warm memos are shared per (fingerprint, profile_sig): exactly the pair
+/// under which ProfileMemo::set_base's rebind contract holds.
+std::string memo_sig(const PlanKey& key) {
+  return key.fp.hex() + "|" + key.profile_sig;
+}
+
+/// The reply's cache identity: the store filename without its extension.
+std::string key_stem(const PlanKey& key) {
+  std::string f = key.filename();
+  return f.substr(0, f.size() - std::string(".plan.json").size());
+}
+
+}  // namespace
+
+const char* status_name(ServeResponse::Status s) {
+  switch (s) {
+    case ServeResponse::Status::Hit: return "hit";
+    case ServeResponse::Status::Miss: return "miss";
+    case ServeResponse::Status::Overloaded: return "overloaded";
+    case ServeResponse::Status::Error: return "error";
+  }
+  return "error";
+}
+
+PlanServer::PlanServer(ServeOptions opts) : opts_(std::move(opts)) {
+  if (!opts_.store_dir.empty()) store_.emplace(opts_.store_dir);
+}
+
+PlanServer::~PlanServer() = default;
+
+std::shared_ptr<const PlanServer::GraphEntry> PlanServer::graph_for(
+    const ModelSpec& spec) {
+  const std::string sig = canonical_sig(spec);
+  {
+    std::lock_guard<std::mutex> lk(graphs_mu_);
+    if (auto it = graphs_.find(sig); it != graphs_.end()) return it->second;
+  }
+  // Build outside the lock — builders can take milliseconds and must not
+  // stall concurrent hits. A racing duplicate build produces an identical
+  // entry; first insert wins.
+  auto ge = std::make_shared<GraphEntry>();
+  ge->built = build_model(spec);
+  ge->fp = fingerprint_graph(ge->built.graph);
+  std::lock_guard<std::mutex> lk(graphs_mu_);
+  return graphs_.emplace(sig, std::move(ge)).first->second;
+}
+
+Fingerprint PlanServer::fingerprint_for(const ModelSpec& spec) {
+  return graph_for(spec)->fp;
+}
+
+PlanServer::Outcome PlanServer::run_search(
+    const std::shared_ptr<const GraphEntry>& ge, const PlanKey& key,
+    const PartitionConfig& cfg) {
+  Outcome out;
+  try {
+    std::shared_ptr<MemoSlot> slot;
+    {
+      std::lock_guard<std::mutex> lk(memos_mu_);
+      auto& s = memos_[memo_sig(key)];
+      if (!s) s = std::make_shared<MemoSlot>();
+      slot = s;
+    }
+    // Serialize searches sharing this memo: set_base (inside
+    // auto_partition) is not safe against a sibling search's concurrent
+    // lookups. Distinct models/cost models still search in parallel.
+    std::lock_guard<std::mutex> memo_lk(slot->mu);
+    if (store_ && !slot->disk_checked) {
+      slot->disk_checked = true;
+      if (const auto m = store_->load_sibling_memo(key)) {
+        try {
+          slot->memo->from_json(*m);
+        } catch (const std::exception&) {
+          // A corrupt donor snapshot only costs warmth, never the search.
+        }
+      }
+    }
+    PartitionConfig run_cfg = cfg;
+    run_cfg.profile_memo = true;
+    run_cfg.shared_memo = slot->memo;
+    searches_.fetch_add(1, std::memory_order_relaxed);
+    PartitionResult result;
+    {
+      obs::Scope span("serve.search", "serve");
+      if (span.active()) span.arg("key", key_stem(key));
+      result = opts_.search_fn ? opts_.search_fn(ge->built.graph, run_cfg)
+                               : auto_partition(ge->built.graph, run_cfg);
+    }
+    auto cp = std::make_shared<CachedPlan>();
+    if (result.feasible) {
+      cp->plan_json = plan_to_json(result);
+    } else {
+      cp->infeasible = true;
+      cp->infeasible_reason = result.infeasible_reason;
+    }
+    {
+      std::lock_guard<std::mutex> lk(plans_mu_);
+      plans_[key.filename()] = cp;
+    }
+    if (store_ && opts_.persist) {
+      StoredEntry e;
+      e.plan_json = cp->plan_json;
+      e.memo_json = slot->memo->to_json();
+      e.infeasible = cp->infeasible;
+      e.infeasible_reason = cp->infeasible_reason;
+      store_->save(key, e);
+    }
+    out.ok = true;
+    out.plan = std::move(cp);
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  return out;
+}
+
+ServeResponse PlanServer::dispatch(const ServeRequest& req) {
+  ServeResponse resp;
+  const std::shared_ptr<const GraphEntry> ge = graph_for(req.model);
+  resp.fingerprint = ge->fp.hex();
+  const PlanKey key = make_plan_key(ge->fp, req.cfg);
+  resp.key = key_stem(key);
+
+  const auto fill_plan = [&resp](const CachedPlan& cp) {
+    resp.plan_json = cp.plan_json;
+    resp.infeasible = cp.infeasible;
+    resp.infeasible_reason = cp.infeasible_reason;
+  };
+
+  // L1: in-memory plan cache.
+  {
+    std::lock_guard<std::mutex> lk(plans_mu_);
+    if (auto it = plans_.find(key.filename()); it != plans_.end()) {
+      resp.status = ServeResponse::Status::Hit;
+      fill_plan(*it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return resp;
+    }
+  }
+
+  // L2: durable store.
+  if (store_) {
+    if (const auto e = store_->load(key)) {
+      auto loaded = std::make_shared<CachedPlan>();
+      loaded->plan_json = e->plan_json;
+      loaded->infeasible = e->infeasible;
+      loaded->infeasible_reason = e->infeasible_reason;
+      std::shared_ptr<const CachedPlan> cp = loaded;
+      {
+        std::lock_guard<std::mutex> lk(plans_mu_);
+        cp = plans_.emplace(key.filename(), cp).first->second;
+      }
+      resp.status = ServeResponse::Status::Hit;
+      resp.from_disk = true;
+      fill_plan(*cp);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      disk_hits_.fetch_add(1, std::memory_order_relaxed);
+      return resp;
+    }
+  }
+
+  // Single-flight admission.
+  bool leader = false;
+  std::promise<Outcome> promise;
+  std::shared_future<Outcome> future;
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    if (auto it = inflight_.find(key.filename()); it != inflight_.end()) {
+      future = it->second;
+      resp.coalesced = true;
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    } else if (leaders_ >= opts_.max_queue) {
+      resp.status = ServeResponse::Status::Overloaded;
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return resp;
+    } else {
+      leader = true;
+      ++leaders_;
+      future = promise.get_future().share();
+      inflight_.emplace(key.filename(), future);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Outcome out;
+  if (leader) {
+    out = run_search(ge, key, req.cfg);  // never throws
+    promise.set_value(out);
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    inflight_.erase(key.filename());
+    --leaders_;
+  } else {
+    out = future.get();
+  }
+
+  if (!out.ok) {
+    resp.status = ServeResponse::Status::Error;
+    resp.error = out.error;
+    return resp;
+  }
+  resp.status = ServeResponse::Status::Miss;
+  fill_plan(*out.plan);
+  return resp;
+}
+
+ServeResponse PlanServer::handle(const ServeRequest& req) {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::Scope span("serve.request", "serve");
+  ServeResponse resp;
+  try {
+    resp = dispatch(req);
+  } catch (const std::exception& e) {
+    resp.status = ServeResponse::Status::Error;
+    resp.error = e.what();
+  }
+  resp.latency_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  obs::MetricsRegistry& m = obs::metrics();
+  switch (resp.status) {
+    case ServeResponse::Status::Hit:
+      m.counter("serve.hits").add();
+      if (resp.from_disk) m.counter("serve.disk_hits").add();
+      m.histogram("serve.hit_latency_us").record(resp.latency_us);
+      break;
+    case ServeResponse::Status::Miss:
+      m.counter("serve.misses").add();
+      if (resp.coalesced) m.counter("serve.coalesced").add();
+      m.histogram("serve.miss_latency_us").record(resp.latency_us);
+      break;
+    case ServeResponse::Status::Overloaded:
+      m.counter("serve.shed").add();
+      break;
+    case ServeResponse::Status::Error:
+      m.counter("serve.errors").add();
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (span.active()) {
+    span.arg("status", std::string(status_name(resp.status)));
+    if (!resp.key.empty()) span.arg("key", resp.key);
+  }
+  return resp;
+}
+
+PlanServer::Stats PlanServer::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.searches = searches_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string PlanServer::stats_json() const {
+  const Stats s = stats();
+  std::ostringstream os;
+  os << "{\"hits\": " << s.hits << ", \"disk_hits\": " << s.disk_hits
+     << ", \"misses\": " << s.misses << ", \"coalesced\": " << s.coalesced
+     << ", \"searches\": " << s.searches << ", \"shed\": " << s.shed
+     << ", \"errors\": " << s.errors << "}";
+  return os.str();
+}
+
+ServeRequest request_from_json(const json::Value& v) {
+  ServeRequest r;
+  r.id = v.geti("id");
+  r.model = spec_from_json(v);
+  if (const std::int64_t n = v.geti("nodes"))
+    r.cfg.cluster.num_nodes = static_cast<int>(n);
+  if (const std::int64_t n = v.geti("devices_per_node"))
+    r.cfg.cluster.devices_per_node = static_cast<int>(n);
+  if (const std::int64_t n = v.geti("batch_size")) r.cfg.batch_size = n;
+  r.cfg.threads = static_cast<int>(v.geti("threads"));
+  return r;
+}
+
+PlanServer::WireResult PlanServer::serve_line(const std::string& line) {
+  std::int64_t id = 0;
+  try {
+    const json::Value v = json::parse(line);
+    id = v.geti("id");
+    const std::string cmd = v.gets("cmd");
+    if (cmd == "shutdown") {
+      return {"{\"id\": " + std::to_string(id) +
+                  ", \"status\": \"ok\", \"bye\": true}",
+              true};
+    }
+    if (cmd == "stats") {
+      return {"{\"id\": " + std::to_string(id) +
+                  ", \"status\": \"ok\", \"stats\": " + stats_json() + "}",
+              false};
+    }
+    if (cmd == "fingerprint") {
+      const Fingerprint fp = fingerprint_for(spec_from_json(v));
+      return {"{\"id\": " + std::to_string(id) +
+                  ", \"status\": \"ok\", \"fingerprint\": \"" + fp.hex() +
+                  "\"}",
+              false};
+    }
+    if (!cmd.empty())
+      throw std::invalid_argument("unknown cmd '" + cmd + "'");
+
+    const ServeRequest req = request_from_json(v);
+    const ServeResponse resp = handle(req);
+    std::ostringstream os;
+    os << "{\"id\": " << req.id << ", \"status\": \""
+       << status_name(resp.status) << "\"";
+    if (resp.coalesced) os << ", \"coalesced\": true";
+    if (resp.from_disk) os << ", \"from_disk\": true";
+    if (!resp.fingerprint.empty())
+      os << ", \"fingerprint\": \"" << resp.fingerprint << "\"";
+    if (!resp.key.empty()) os << ", \"key\": \"" << resp.key << "\"";
+    os << ", \"latency_us\": " << obs::json_double(resp.latency_us);
+    if (resp.status == ServeResponse::Status::Hit ||
+        resp.status == ServeResponse::Status::Miss) {
+      if (resp.infeasible) {
+        os << ", \"infeasible\": true, \"reason\": "
+           << obs::json_string(resp.infeasible_reason);
+      } else {
+        os << ", \"plan\": " << json::compact(resp.plan_json);
+      }
+    }
+    if (!resp.error.empty())
+      os << ", \"error\": " << obs::json_string(resp.error);
+    os << "}";
+    return {os.str(), false};
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics().counter("serve.errors").add();
+    return {"{\"id\": " + std::to_string(id) +
+                ", \"status\": \"error\", \"error\": " +
+                obs::json_string(e.what()) + "}",
+            false};
+  }
+}
+
+}  // namespace serve
+}  // namespace rannc

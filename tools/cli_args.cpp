@@ -120,54 +120,7 @@ void register_model_flags(ArgParser& p, ModelOptions& o) {
   p.opt("--input-dim", &o.input_dim, "N", "mlp input dimension");
 }
 
-BuiltModel build_model(const ModelOptions& o) {
-  if (o.model == "mlp") {
-    MlpConfig c;
-    if (o.input_dim) c.input_dim = o.input_dim;
-    if (o.batch) c.batch = o.batch;
-    if (o.classes) c.num_classes = o.classes;
-    if (o.hidden) c.hidden_dims.assign(o.layers ? o.layers : 2, o.hidden);
-    return build_mlp(c);
-  }
-  if (o.model == "bert") {
-    BertConfig c;
-    if (o.hidden) c.hidden = o.hidden;
-    if (o.layers) c.layers = o.layers;
-    if (o.seq) c.seq_len = o.seq;
-    if (o.vocab) c.vocab = o.vocab;
-    if (o.heads) c.heads = o.heads;
-    return build_bert(c);
-  }
-  if (o.model == "gpt2") {
-    Gpt2Config c;
-    if (o.hidden) c.hidden = o.hidden;
-    if (o.layers) c.layers = o.layers;
-    if (o.seq) c.seq_len = o.seq;
-    if (o.vocab) c.vocab = o.vocab;
-    if (o.heads) c.heads = o.heads;
-    return build_gpt2(c);
-  }
-  if (o.model == "t5") {
-    T5Config c;
-    if (o.hidden) c.hidden = o.hidden;
-    if (o.layers) c.layers = o.layers;
-    if (o.seq) c.seq_len = o.seq;
-    if (o.vocab) c.vocab = o.vocab;
-    if (o.heads) c.heads = o.heads;
-    return build_t5(c);
-  }
-  if (o.model == "resnet") {
-    ResNetConfig c;
-    if (o.depth) c.depth = static_cast<int>(o.depth);
-    if (o.width) c.width_factor = o.width;
-    if (o.image) c.image_size = o.image;
-    if (o.classes) c.num_classes = o.classes;
-    return build_resnet(c);
-  }
-  throw std::invalid_argument(o.model.empty()
-                                  ? std::string("--model is required")
-                                  : "unknown model '" + o.model + "'");
-}
+BuiltModel build_model(const ModelOptions& o) { return serve::build_model(o); }
 
 void register_cluster_flags(ArgParser& p, ClusterOptions& o) {
   p.section("Cluster / search (0/unset = config default)");

@@ -71,21 +71,16 @@ class ArgParser {
   std::vector<Entry> entries_;
 };
 
-/// Shape parameters of the built-in model builders; 0/unset keeps the
-/// builder's default. The same option set covers every family — each
-/// builder reads the fields that apply to it.
-struct ModelOptions {
-  std::string model;  ///< mlp | bert | gpt2 | t5 | resnet
-  std::int64_t layers = 0, hidden = 0, seq = 0, vocab = 0, heads = 0;
-  std::int64_t depth = 0, width = 0, image = 0, classes = 0;
-  std::int64_t batch = 0, input_dim = 0;
-};
+/// Shape parameters of the built-in model builders. The struct (and the
+/// builder dispatch) lives in src/serve — the daemon's request vocabulary
+/// and the tools' --model flags are the same surface by construction.
+using ModelOptions = serve::ModelSpec;
 
 /// Registers --model plus the per-family shape flags into `p`.
 void register_model_flags(ArgParser& p, ModelOptions& o);
 
 /// Builds the selected model; throws std::invalid_argument for an unknown
-/// or empty --model.
+/// or empty --model. Thin wrapper over serve::build_model.
 BuiltModel build_model(const ModelOptions& o);
 
 /// Cluster geometry and partition-search knobs shared by the tools.

@@ -37,6 +37,7 @@ struct Options {
   bool partition = false;
   bool raw_graph = false;
   bool liveness = false;
+  bool fingerprint = false;
   bool quiet = false;
 };
 
@@ -54,6 +55,12 @@ std::string human_bytes(std::int64_t b) {
 int run(const Options& o) {
   const BuiltModel m = cli::build_model(o.model);
   const TaskGraph& g = m.graph;
+
+  if (o.fingerprint) {
+    // Cache identity for the serve layer: the canonical semantic hash,
+    // invariant to names/insertion order and any recorded-metadata skew.
+    std::cout << "fingerprint: " << serve::fingerprint_graph(g).hex() << '\n';
+  }
 
   if (!o.quiet)
     std::cout << "model " << o.model.model << ": " << g.num_tasks()
@@ -173,6 +180,8 @@ int main(int argc, char** argv) {
          "atomic-rebuilt)");
   p.flag("--liveness", &o.liveness,
          "print per-value liveness & memory summary");
+  p.flag("--fingerprint", &o.fingerprint,
+         "print the canonical serve-cache fingerprint of the graph");
   p.opt("--dot", &o.dot_file, "FILE", "write a Graphviz rendering");
   p.flag("--quiet", &o.quiet, "print diagnostics only");
   if (p.parse(argc, argv) != cli::ArgParser::Status::Ok) return 2;
