@@ -8,14 +8,54 @@ namespace {
 
 using namespace rannc;
 
+/// Pins the kernel path (naive reference vs blocked) for one benchmark run.
+struct KernelPath {
+  explicit KernelPath(bool naive) { set_naive_kernels(naive); }
+  ~KernelPath() { set_naive_kernels(false); }
+};
+
 void BM_MatMul(benchmark::State& state) {
   const auto n = state.range(0);
+  KernelPath path(state.range(1) != 0);
   Tensor a = Tensor::uniform(Shape{n, n}, 1.0f, 1);
   Tensor b = Tensor::uniform(Shape{n, n}, 1.0f, 2);
   for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+// Second arg: 0 = blocked (production), 1 = naive reference loops.
+BENCHMARK(BM_MatMul)
+    ->Args({64, 0})->Args({128, 0})->Args({256, 0})->Args({512, 0})
+    ->Args({256, 1})->Args({512, 1});
+
+void BM_MatMulGradA(benchmark::State& state) {
+  const auto n = state.range(0);
+  KernelPath path(state.range(1) != 0);
+  Tensor g = Tensor::uniform(Shape{n, n}, 1.0f, 1);
+  Tensor b = Tensor::uniform(Shape{n, n}, 1.0f, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul_grad_a(g, b));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulGradA)->Args({256, 0})->Args({256, 1});
+
+void BM_MatMulGradB(benchmark::State& state) {
+  const auto n = state.range(0);
+  KernelPath path(state.range(1) != 0);
+  Tensor a = Tensor::uniform(Shape{n, n}, 1.0f, 1);
+  Tensor g = Tensor::uniform(Shape{n, n}, 1.0f, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(matmul_grad_b(a, g, Shape{n, n}));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulGradB)->Args({256, 0})->Args({256, 1});
+
+void BM_Transpose(benchmark::State& state) {
+  const auto n = state.range(0);
+  KernelPath path(state.range(1) != 0);
+  Tensor x = Tensor::uniform(Shape{n, n}, 1.0f, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(transpose(x, {1, 0}));
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Transpose)->Args({1024, 0})->Args({1024, 1});
 
 void BM_Softmax(benchmark::State& state) {
   Tensor a = Tensor::uniform(Shape{state.range(0), 512}, 1.0f, 3);
@@ -32,11 +72,12 @@ void BM_LayerNorm(benchmark::State& state) {
 BENCHMARK(BM_LayerNorm)->Arg(64)->Arg(512);
 
 void BM_Conv2d(benchmark::State& state) {
+  KernelPath path(state.range(0) != 0);
   Tensor x = Tensor::uniform(Shape{1, 16, 32, 32}, 1.0f, 5);
   Tensor w = Tensor::uniform(Shape{16, 16, 3, 3}, 1.0f, 6);
   for (auto _ : state) benchmark::DoNotOptimize(conv2d(x, w, 1, 1));
 }
-BENCHMARK(BM_Conv2d);
+BENCHMARK(BM_Conv2d)->Arg(0)->Arg(1);
 
 BuiltModel bench_bert(std::int64_t layers) {
   BertConfig c;

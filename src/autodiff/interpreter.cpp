@@ -60,9 +60,29 @@ void Interpreter::run_task(const Task& t, TensorMap& values,
   Tensor out;
   switch (t.kind) {
     case OpKind::MatMul: out = matmul(in(0), in(1)); break;
-    case OpKind::Transpose:
-      out = transpose(in(0), perm_of(t, in(0).shape().rank()));
+    case OpKind::Transpose: {
+      const Tensor& src = in(0);
+      if (param_memo_ &&
+          graph_->value(t.inputs.at(0)).kind == ValueKind::Param) {
+        bool hit = false;
+        {
+          std::lock_guard<std::mutex> lk(memo_mu_);
+          auto mit = memo_.find(t.output);
+          if (mit != memo_.end() && mit->second.first == src.data()) {
+            out = mit->second.second;
+            hit = true;
+          }
+        }
+        if (!hit) {
+          out = transpose(src, perm_of(t, src.shape().rank()));
+          std::lock_guard<std::mutex> lk(memo_mu_);
+          memo_[t.output] = {src.data(), out};
+        }
+      } else {
+        out = transpose(src, perm_of(t, src.shape().rank()));
+      }
       break;
+    }
     case OpKind::Reshape:
     case OpKind::Flatten: out = in(0).reshaped(out_shape); break;
     case OpKind::Identity:

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/task_graph.h"
@@ -51,6 +53,21 @@ class Interpreter {
   /// Whole-graph convenience: forward all tasks.
   void forward_all(TensorMap& values, ForwardCache& cache) const;
 
+  /// Opt-in memo for forward outputs that are pure functions of parameter
+  /// values only (currently Transpose of a Param input, i.e. the per-layer
+  /// weight transposes). Parameters are fixed for the duration of a training
+  /// step, so each memoized task runs once per step and every later
+  /// microbatch reuses the result — a pure permutation of unchanged data,
+  /// bit-identical to recomputing it. Callers MUST invalidate whenever
+  /// parameters may change (optimizer step, rollback, state import); as a
+  /// second line of defense an entry is only reused while the input tensor
+  /// still aliases the exact buffer it was computed from. Thread-safe.
+  void set_param_memo(bool on) { param_memo_ = on; }
+  void invalidate_param_memo() {
+    std::lock_guard<std::mutex> lk(memo_mu_);
+    memo_.clear();
+  }
+
   [[nodiscard]] const TaskGraph& graph() const { return *graph_; }
 
  private:
@@ -59,6 +76,9 @@ class Interpreter {
                  const ForwardCache& cache, TensorMap& grads) const;
 
   const TaskGraph* graph_;
+  bool param_memo_ = false;
+  mutable std::mutex memo_mu_;
+  mutable std::unordered_map<ValueId, std::pair<const float*, Tensor>> memo_;
 };
 
 /// Accumulates `delta` into `grads[v]` (insert if absent).

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "autodiff/interpreter.h"
 #include "tensor/tensor.h"
@@ -28,6 +29,13 @@ using OptStateMap = std::unordered_map<ValueId, ParamOptState>;
 
 /// Stateful optimizer for one shard of parameters. Deterministic: update
 /// order follows ascending ValueId.
+///
+/// Updates are copy-on-write: a parameter or moment tensor whose buffer is
+/// aliased elsewhere (a snapshot holding it) is not mutated — the update
+/// lands in a fresh arena buffer and the map entry is repointed. The
+/// arithmetic is the same either way, so in-place and CoW steps produce
+/// bit-identical values; a shallow snapshot taken before `step` keeps the
+/// pre-step bytes.
 class Optimizer {
  public:
   explicit Optimizer(OptimizerConfig cfg) : cfg_(cfg) {}
@@ -49,10 +57,21 @@ class Optimizer {
   /// Restoring an exported snapshot rewinds the optimizer bit-exactly.
   void import_state(const OptStateMap& state, std::int64_t t);
 
+  /// Shallow (aliasing) copy of the state — O(1) per tensor. Because `step`
+  /// is copy-on-write, the snapshot keeps the pre-step bytes while the
+  /// optimizer moves on; cheap counterpart of `export_state`.
+  [[nodiscard]] OptStateMap snapshot_state() const;
+
+  /// Adopts `state` by move without cloning (entries with undefined moments
+  /// are dropped) and sets the step count to `t`. Rollback counterpart of
+  /// `snapshot_state`: restores the exact snapshot buffers.
+  void adopt_state(OptStateMap state, std::int64_t t);
+
  private:
   OptimizerConfig cfg_;
   OptStateMap state_;
   std::int64_t t_ = 0;
+  std::vector<ValueId> order_;  ///< scratch for step(); reused across calls
 };
 
 }  // namespace rannc

@@ -13,6 +13,7 @@
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "runtime/trainer.h"
+#include "util/arena.h"
 
 namespace rannc {
 
@@ -35,6 +36,7 @@ PipelineTrainer::PipelineTrainer(const TaskGraph& g,
                                  std::vector<std::vector<TaskId>> stage_tasks,
                                  PipelineOptions options)
     : interp_(g), options_(options) {
+  interp_.set_param_memo(!naive_kernels());
   const auto outs = g.output_values();
   if (outs.size() != 1 || g.value(outs.front()).shape.numel() != 1)
     throw std::invalid_argument("PipelineTrainer requires one scalar loss");
@@ -336,9 +338,10 @@ float PipelineTrainer::step(const std::vector<TensorMap>& microbatches) {
     }
   }
 
-  // Transactional snapshot: deep-clone every stage's parameter shard and
-  // optimizer state so a failed step can roll back bit-exactly (Tensor
-  // copies are shallow — the running step mutates the originals in place).
+  // Transactional snapshot. Copy-on-write (the default) just aliases every
+  // buffer: the optimizer's CoW step leaves shared buffers untouched, so the
+  // snapshot stays bit-exact without a single copy — rollback moves the
+  // original buffers back. Eager mode keeps the deep-clone discipline.
   struct StageSnapshot {
     TensorMap params;
     OptStateMap opt_state;
@@ -349,8 +352,13 @@ float PipelineTrainer::step(const std::vector<TensorMap>& microbatches) {
     snapshot.reserve(stages_.size());
     for (const Stage& st : stages_) {
       StageSnapshot s;
-      for (const auto& [v, t] : st.params) s.params.emplace(v, t.clone());
-      s.opt_state = st.opt.export_state();
+      if (options_.eager_snapshots) {
+        for (const auto& [v, t] : st.params) s.params.emplace(v, t.clone());
+        s.opt_state = st.opt.export_state();
+      } else {
+        s.params = st.params;                   // shallow
+        s.opt_state = st.opt.snapshot_state();  // shallow
+      }
       s.opt_step = st.opt.step_count();
       snapshot.push_back(std::move(s));
     }
@@ -410,11 +418,18 @@ float PipelineTrainer::step(const std::vector<TensorMap>& microbatches) {
     error = std::make_exception_ptr(StepDeadlineError(
         "pipeline step exceeded deadline of " +
         std::to_string(options_.step_deadline_s) + "s"));
+  Arena::global().end_epoch();
+  interp_.invalidate_param_memo();  // optimizer steps replaced the params
   if (error) {
     if (options_.transactional) {
       for (std::size_t s = 0; s < stages_.size(); ++s) {
         stages_[s].params = std::move(snapshot[s].params);
-        stages_[s].opt.import_state(snapshot[s].opt_state, snapshot[s].opt_step);
+        if (options_.eager_snapshots)
+          stages_[s].opt.import_state(snapshot[s].opt_state,
+                                      snapshot[s].opt_step);
+        else
+          stages_[s].opt.adopt_state(std::move(snapshot[s].opt_state),
+                                     snapshot[s].opt_step);
       }
       RANNC_LOG_WARN(
           "pipeline step failed; rolled parameters and optimizer state back "

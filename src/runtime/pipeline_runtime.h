@@ -71,6 +71,14 @@ struct PipelineOptions {
   /// error is rethrown, so a recovery layer can resume from the last
   /// completed optimizer step.
   bool transactional = true;
+  /// Transactional snapshots are copy-on-write by default: the per-step
+  /// snapshot aliases the parameter/state buffers (O(1) per tensor) and the
+  /// optimizer repoints rather than mutates shared buffers, so the
+  /// snapshot's bytes survive untouched until rollback. Setting this keeps
+  /// the original eager discipline (deep-clone every shard at the start of
+  /// every step) — useful as a baseline; both modes roll back bit-exactly
+  /// and train bit-identically.
+  bool eager_snapshots = false;
   /// Deterministic message-fault oracle attached to every boundary
   /// endpoint (channels named "fwd <from>-><to>" / "bwd <to>-><from>").
   std::shared_ptr<const comm::MessageFaultInjector> fault_injector;

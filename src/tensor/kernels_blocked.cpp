@@ -1,0 +1,543 @@
+#include "tensor/kernels_blocked.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define RANNC_KERNELS_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace rannc {
+namespace detail {
+
+namespace {
+
+// GEMM tiling. The microkernel computes a 4x16 C tile: 8 vector
+// accumulators at AVX2 width, k ascending one element at a time so the
+// per-element order matches an axpy loop. B panels are packed so the
+// microkernel streams contiguous, zero-padded rows regardless of n.
+constexpr std::int64_t kNR = 16;        // C tile columns (2 AVX2 vectors)
+constexpr std::int64_t kMR = 4;         // C tile rows
+constexpr std::int64_t kKC = 256;       // k block (packed panel: 16 KiB)
+constexpr std::int64_t kRowTile = 32;   // rows per parallel work item
+
+void pack_b(const float* B, std::int64_t ldb, std::int64_t kc, std::int64_t jw,
+            float* P) {
+  if (jw == kNR) {
+    for (std::int64_t kk = 0; kk < kc; ++kk)
+      std::memcpy(P + kk * kNR, B + kk * ldb, kNR * sizeof(float));
+  } else {
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+      const float* src = B + kk * ldb;
+      float* dst = P + kk * kNR;
+      std::int64_t j = 0;
+      for (; j < jw; ++j) dst[j] = src[j];
+      for (; j < kNR; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+void micro_4x16(const float* __restrict A, std::int64_t lda,
+                const float* __restrict P, std::int64_t kc,
+                float* __restrict C, std::int64_t ldc, std::int64_t jw) {
+  float acc[kMR][kNR];
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    std::int64_t j = 0;
+    for (; j < jw; ++j) acc[i][j] = C[i * ldc + j];
+    for (; j < kNR; ++j) acc[i][j] = 0.0f;
+  }
+  const float* a0 = A;
+  const float* a1 = A + lda;
+  const float* a2 = A + 2 * lda;
+  const float* a3 = A + 3 * lda;
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* __restrict b = P + kk * kNR;
+    const float v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
+    for (std::int64_t j = 0; j < kNR; ++j) {
+      const float bj = b[j];
+      acc[0][j] += v0 * bj;
+      acc[1][j] += v1 * bj;
+      acc[2][j] += v2 * bj;
+      acc[3][j] += v3 * bj;
+    }
+  }
+  for (std::int64_t i = 0; i < kMR; ++i)
+    for (std::int64_t j = 0; j < jw; ++j) C[i * ldc + j] = acc[i][j];
+}
+
+void micro_1x16(const float* __restrict a, const float* __restrict P,
+                std::int64_t kc, float* __restrict C, std::int64_t jw) {
+  float acc[kNR];
+  std::int64_t j = 0;
+  for (; j < jw; ++j) acc[j] = C[j];
+  for (; j < kNR; ++j) acc[j] = 0.0f;
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float v = a[kk];
+    const float* __restrict b = P + kk * kNR;
+    for (std::int64_t jj = 0; jj < kNR; ++jj) acc[jj] += v * b[jj];
+  }
+  for (std::int64_t jj = 0; jj < jw; ++jj) C[jj] = acc[jj];
+}
+
+/// One row tile [r0, r0+mt) of one batch's C = A x B.
+void gemm_rows(const float* A, const float* B, float* C, std::int64_t mt,
+               std::int64_t k, std::int64_t n) {
+  alignas(64) float P[kKC * kNR];
+  for (std::int64_t r = 0; r < mt; ++r)
+    std::fill_n(C + r * n, n, 0.0f);
+  for (std::int64_t kb = 0; kb < k; kb += kKC) {
+    const std::int64_t kc = std::min(kKC, k - kb);
+    for (std::int64_t j0 = 0; j0 < n; j0 += kNR) {
+      const std::int64_t jw = std::min(kNR, n - j0);
+      pack_b(B + kb * n + j0, n, kc, jw, P);
+      std::int64_t r0 = 0;
+      for (; r0 + kMR <= mt; r0 += kMR)
+        micro_4x16(A + r0 * k + kb, k, P, kc, C + r0 * n + j0, n, jw);
+      for (; r0 < mt; ++r0)
+        micro_1x16(A + r0 * k + kb, P, kc, C + r0 * n + j0, jw);
+    }
+  }
+}
+
+// ---- double-accumulator helpers --------------------------------------------
+//
+// Float products are exact in double, so any fixed lane structure gives the
+// same sum as a sequential double loop up to ~1e-16 relative — which rounds
+// to the same float essentially always. The lane structure below is fixed
+// (8 lanes, summed pairwise, scalar tail appended), so results never depend
+// on thread assignment.
+
+#ifdef RANNC_KERNELS_AVX2
+
+double hsum4(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+/// out[q] = dot(g, B row q) for 4 consecutive rows of B, double-accumulated.
+void dot4_rows(const float* __restrict g, const float* __restrict B,
+               std::int64_t n, std::int64_t ldb, float* __restrict out) {
+  const float* b0 = B;
+  const float* b1 = B + ldb;
+  const float* b2 = B + 2 * ldb;
+  const float* b3 = B + 3 * ldb;
+  __m256d l0 = _mm256_setzero_pd(), h0 = _mm256_setzero_pd();
+  __m256d l1 = _mm256_setzero_pd(), h1 = _mm256_setzero_pd();
+  __m256d l2 = _mm256_setzero_pd(), h2 = _mm256_setzero_pd();
+  __m256d l3 = _mm256_setzero_pd(), h3 = _mm256_setzero_pd();
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 gv = _mm256_loadu_ps(g + j);
+    const __m256d glo = _mm256_cvtps_pd(_mm256_castps256_ps128(gv));
+    const __m256d ghi = _mm256_cvtps_pd(_mm256_extractf128_ps(gv, 1));
+    __m256 bv = _mm256_loadu_ps(b0 + j);
+    l0 = _mm256_fmadd_pd(glo, _mm256_cvtps_pd(_mm256_castps256_ps128(bv)), l0);
+    h0 = _mm256_fmadd_pd(ghi, _mm256_cvtps_pd(_mm256_extractf128_ps(bv, 1)), h0);
+    bv = _mm256_loadu_ps(b1 + j);
+    l1 = _mm256_fmadd_pd(glo, _mm256_cvtps_pd(_mm256_castps256_ps128(bv)), l1);
+    h1 = _mm256_fmadd_pd(ghi, _mm256_cvtps_pd(_mm256_extractf128_ps(bv, 1)), h1);
+    bv = _mm256_loadu_ps(b2 + j);
+    l2 = _mm256_fmadd_pd(glo, _mm256_cvtps_pd(_mm256_castps256_ps128(bv)), l2);
+    h2 = _mm256_fmadd_pd(ghi, _mm256_cvtps_pd(_mm256_extractf128_ps(bv, 1)), h2);
+    bv = _mm256_loadu_ps(b3 + j);
+    l3 = _mm256_fmadd_pd(glo, _mm256_cvtps_pd(_mm256_castps256_ps128(bv)), l3);
+    h3 = _mm256_fmadd_pd(ghi, _mm256_cvtps_pd(_mm256_extractf128_ps(bv, 1)), h3);
+  }
+  double s0 = hsum4(_mm256_add_pd(l0, h0));
+  double s1 = hsum4(_mm256_add_pd(l1, h1));
+  double s2 = hsum4(_mm256_add_pd(l2, h2));
+  double s3 = hsum4(_mm256_add_pd(l3, h3));
+  for (; j < n; ++j) {
+    const double gv = g[j];
+    s0 += gv * b0[j];
+    s1 += gv * b1[j];
+    s2 += gv * b2[j];
+    s3 += gv * b3[j];
+  }
+  out[0] = static_cast<float>(s0);
+  out[1] = static_cast<float>(s1);
+  out[2] = static_cast<float>(s2);
+  out[3] = static_cast<float>(s3);
+}
+
+/// dot(a, b) over len floats, double-accumulated.
+double dot_f2d(const float* __restrict a, const float* __restrict b,
+               std::int64_t len) {
+  __m256d lo = _mm256_setzero_pd(), hi = _mm256_setzero_pd();
+  std::int64_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    const __m256 av = _mm256_loadu_ps(a + j);
+    const __m256 bv = _mm256_loadu_ps(b + j);
+    lo = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(av)),
+                         _mm256_cvtps_pd(_mm256_castps256_ps128(bv)), lo);
+    hi = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(av, 1)),
+                         _mm256_cvtps_pd(_mm256_extractf128_ps(bv, 1)), hi);
+  }
+  double s = hsum4(_mm256_add_pd(lo, hi));
+  for (; j < len; ++j) s += static_cast<double>(a[j]) * b[j];
+  return s;
+}
+
+/// acc[i] += w * x[i] over len elements, double accumulator array.
+void axpy_f2d(double* __restrict acc, const float* __restrict x, double w,
+              std::int64_t len) {
+  const __m256d wv = _mm256_set1_pd(w);
+  std::int64_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    const __m256 xv = _mm256_loadu_ps(x + j);
+    const __m256d x0 = _mm256_cvtps_pd(_mm256_castps256_ps128(xv));
+    const __m256d x1 = _mm256_cvtps_pd(_mm256_extractf128_ps(xv, 1));
+    _mm256_storeu_pd(acc + j,
+                     _mm256_fmadd_pd(wv, x0, _mm256_loadu_pd(acc + j)));
+    _mm256_storeu_pd(acc + j + 4,
+                     _mm256_fmadd_pd(wv, x1, _mm256_loadu_pd(acc + j + 4)));
+  }
+  for (; j < len; ++j) acc[j] += w * x[j];
+}
+
+#else  // !RANNC_KERNELS_AVX2
+
+void dot4_rows(const float* __restrict g, const float* __restrict B,
+               std::int64_t n, std::int64_t ldb, float* __restrict out) {
+  for (std::int64_t q = 0; q < 4; ++q) {
+    const float* b = B + q * ldb;
+    double l[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::int64_t j = 0;
+    for (; j + 8 <= n; j += 8)
+      for (std::int64_t t = 0; t < 8; ++t)
+        l[t] += static_cast<double>(g[j + t]) * b[j + t];
+    double s = ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+    for (; j < n; ++j) s += static_cast<double>(g[j]) * b[j];
+    out[q] = static_cast<float>(s);
+  }
+}
+
+double dot_f2d(const float* __restrict a, const float* __restrict b,
+               std::int64_t len) {
+  double l[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::int64_t j = 0;
+  for (; j + 8 <= len; j += 8)
+    for (std::int64_t t = 0; t < 8; ++t)
+      l[t] += static_cast<double>(a[j + t]) * b[j + t];
+  double s = ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+  for (; j < len; ++j) s += static_cast<double>(a[j]) * b[j];
+  return s;
+}
+
+void axpy_f2d(double* __restrict acc, const float* __restrict x, double w,
+              std::int64_t len) {
+  for (std::int64_t j = 0; j < len; ++j) acc[j] += w * x[j];
+}
+
+#endif  // RANNC_KERNELS_AVX2
+
+}  // namespace
+
+bool blocked_kernels_simd() {
+#ifdef RANNC_KERNELS_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+// ---- matmul ----------------------------------------------------------------
+
+void blocked_matmul(const float* A, const float* B, float* C, std::int64_t ba,
+                    std::int64_t m, std::int64_t k, std::int64_t n,
+                    bool shared_b, ThreadPool& pool) {
+  const std::int64_t tiles = (m + kRowTile - 1) / kRowTile;
+  pool.parallel_for(0, ba * tiles, [&](std::int64_t u0, std::int64_t u1) {
+    for (std::int64_t u = u0; u < u1; ++u) {
+      const std::int64_t bi = u / tiles;
+      const std::int64_t r0 = (u % tiles) * kRowTile;
+      const std::int64_t mt = std::min(kRowTile, m - r0);
+      gemm_rows(A + (bi * m + r0) * k, B + (shared_b ? 0 : bi * k * n),
+                C + (bi * m + r0) * n, mt, k, n);
+    }
+  });
+}
+
+// ---- matmul_grad_a: DA = G x B^T --------------------------------------------
+
+void blocked_matmul_grad_a(const float* G, const float* B, float* DA,
+                           std::int64_t bg, std::int64_t m, std::int64_t n,
+                           std::int64_t k, bool shared_b, ThreadPool& pool) {
+  // Parallel unit: a (batch, contiguous kk-chunk) pair. Looping kk outside
+  // the m output rows keeps each group of B rows resident while all m dots
+  // against it run, so B streams through cache once per chunk instead of
+  // once per output row. Every DA element is still one dot with a fixed
+  // association, so any chunking or thread count is bit-identical.
+  constexpr std::int64_t kChunk = 128;
+  const std::int64_t chunks = (k + kChunk - 1) / kChunk;
+  pool.parallel_for(0, bg * chunks, [&](std::int64_t u0, std::int64_t u1) {
+    for (std::int64_t u = u0; u < u1; ++u) {
+      const std::int64_t bi = u / chunks;
+      const std::int64_t c0 = (u % chunks) * kChunk;
+      const std::int64_t c1 = c0 + kChunk < k ? c0 + kChunk : k;
+      const float* gmat = G + bi * m * n;
+      const float* bmat = B + (shared_b ? 0 : bi * k * n);
+      float* damat = DA + bi * m * k;
+      std::int64_t kk = c0;
+      for (; kk + 4 <= c1; kk += 4)
+        for (std::int64_t r = 0; r < m; ++r)
+          dot4_rows(gmat + r * n, bmat + kk * n, n, n, damat + r * k + kk);
+      for (; kk < c1; ++kk)
+        for (std::int64_t r = 0; r < m; ++r)
+          damat[r * k + kk] =
+              static_cast<float>(dot_f2d(gmat + r * n, bmat + kk * n, n));
+    }
+  });
+}
+
+// ---- matmul_grad_b: DB = A^T x G --------------------------------------------
+
+namespace {
+
+/// One DB row (fixed kk): sum over rows r of A[r][kk] * G row r. Rows are
+/// processed in ascending groups of four with a fixed pairwise association,
+/// so the result is the same for every thread assignment.
+void gb_row(const float* A, const float* G, float* dbrow, std::int64_t rows,
+            std::int64_t k, std::int64_t n, std::int64_t kk) {
+  std::fill_n(dbrow, n, 0.0f);
+  std::int64_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const float a0 = A[r * k + kk];
+    const float a1 = A[(r + 1) * k + kk];
+    const float a2 = A[(r + 2) * k + kk];
+    const float a3 = A[(r + 3) * k + kk];
+    if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
+    const float* __restrict g0 = G + r * n;
+    const float* __restrict g1 = g0 + n;
+    const float* __restrict g2 = g1 + n;
+    const float* __restrict g3 = g2 + n;
+    float* __restrict d = dbrow;
+    for (std::int64_t j = 0; j < n; ++j)
+      d[j] += (a0 * g0[j] + a1 * g1[j]) + (a2 * g2[j] + a3 * g3[j]);
+  }
+  for (; r < rows; ++r) {
+    const float av = A[r * k + kk];
+    if (av == 0.0f) continue;
+    const float* __restrict g = G + r * n;
+    float* __restrict d = dbrow;
+    for (std::int64_t j = 0; j < n; ++j) d[j] += av * g[j];
+  }
+}
+
+}  // namespace
+
+void blocked_matmul_grad_b(const float* A, const float* G, float* DB,
+                           std::int64_t ba, std::int64_t m, std::int64_t k,
+                           std::int64_t n, bool shared_b, ThreadPool& pool) {
+  if (shared_b) {
+    pool.parallel_for(0, k, [&](std::int64_t k0, std::int64_t k1) {
+      for (std::int64_t kk = k0; kk < k1; ++kk)
+        gb_row(A, G, DB + kk * n, ba * m, k, n, kk);
+    });
+  } else {
+    pool.parallel_for(0, ba, [&](std::int64_t b0, std::int64_t b1) {
+      for (std::int64_t bi = b0; bi < b1; ++bi) {
+        const float* amat = A + bi * m * k;
+        const float* gmat = G + bi * m * n;
+        float* dbmat = DB + bi * k * n;
+        for (std::int64_t kk = 0; kk < k; ++kk)
+          gb_row(amat, gmat, dbmat + kk * n, m, k, n, kk);
+      }
+    });
+  }
+}
+
+// ---- conv2d ----------------------------------------------------------------
+//
+// The conv kernels accumulate whole output rows in double, sweeping the
+// reduction dimensions in exactly the naive kernels' per-element order
+// (conv2d: c→kh→kw; grad_x: kh→kw→K) with the boundary terms excluded by
+// hoisted range computation instead of per-element branches. The inner
+// loops are contiguous for stride 1 (the common case) and vectorize as
+// float→double fma streams.
+
+void blocked_conv2d(const float* X, const float* Wt, float* Y, std::int64_t N,
+                    std::int64_t C, std::int64_t H, std::int64_t W,
+                    std::int64_t K, std::int64_t kh, std::int64_t kw,
+                    std::int64_t stride, std::int64_t pad, std::int64_t Ho,
+                    std::int64_t Wo, ThreadPool& pool) {
+  pool.parallel_for(0, N * K, [&](std::int64_t p0, std::int64_t p1) {
+    std::vector<double> acc(static_cast<std::size_t>(Wo));
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t ni = p / K, ki = p % K;
+      float* plane = Y + (ni * K + ki) * Ho * Wo;
+      for (std::int64_t ho = 0; ho < Ho; ++ho) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (std::int64_t c = 0; c < C; ++c) {
+          const float* xc = X + (ni * C + c) * H * W;
+          const float* wc = Wt + (ki * C + c) * kh * kw;
+          for (std::int64_t i = 0; i < kh; ++i) {
+            const std::int64_t hi = ho * stride - pad + i;
+            if (hi < 0 || hi >= H) continue;
+            const float* xrow = xc + hi * W;
+            for (std::int64_t j = 0; j < kw; ++j) {
+              const std::int64_t off = j - pad;  // wi = wo*stride + off
+              const std::int64_t lo =
+                  off < 0 ? (-off + stride - 1) / stride : 0;
+              const std::int64_t top = W - 1 - off;
+              if (top < 0) continue;
+              const std::int64_t hi_wo = std::min(Wo, top / stride + 1);
+              if (lo >= hi_wo) continue;
+              const double w = wc[i * kw + j];
+              if (stride == 1) {
+                axpy_f2d(acc.data() + lo, xrow + lo + off, w, hi_wo - lo);
+              } else {
+                for (std::int64_t wo = lo; wo < hi_wo; ++wo)
+                  acc[static_cast<std::size_t>(wo)] +=
+                      w * xrow[wo * stride + off];
+              }
+            }
+          }
+        }
+        float* out = plane + ho * Wo;
+        for (std::int64_t wo = 0; wo < Wo; ++wo)
+          out[wo] = static_cast<float>(acc[static_cast<std::size_t>(wo)]);
+      }
+    }
+  });
+}
+
+void blocked_conv2d_grad_x(const float* G, const float* Wt, float* DX,
+                           std::int64_t N, std::int64_t C, std::int64_t H,
+                           std::int64_t W, std::int64_t K, std::int64_t kh,
+                           std::int64_t kw, std::int64_t stride,
+                           std::int64_t pad, std::int64_t Ho, std::int64_t Wo,
+                           ThreadPool& pool) {
+  pool.parallel_for(0, N * C, [&](std::int64_t p0, std::int64_t p1) {
+    std::vector<double> acc(static_cast<std::size_t>(W));
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t ni = p / C, ci = p % C;
+      float* plane = DX + (ni * C + ci) * H * W;
+      for (std::int64_t h = 0; h < H; ++h) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (std::int64_t i = 0; i < kh; ++i) {
+          const std::int64_t num = h + pad - i;
+          if (num < 0 || num % stride != 0) continue;
+          const std::int64_t ho = num / stride;
+          if (ho >= Ho) continue;
+          for (std::int64_t j = 0; j < kw; ++j) {
+            for (std::int64_t ki = 0; ki < K; ++ki) {
+              const double w = Wt[((ki * C + ci) * kh + i) * kw + j];
+              const float* grow = G + ((ni * K + ki) * Ho + ho) * Wo;
+              if (stride == 1) {
+                // wv = wo + j - pad for wo in [0, Wo) clipped to [0, W).
+                const std::int64_t off = j - pad;
+                const std::int64_t lo = std::max<std::int64_t>(0, off);
+                const std::int64_t hi = std::min(W, Wo + off);
+                if (lo < hi) axpy_f2d(acc.data() + lo, grow + lo - off, w, hi - lo);
+              } else {
+                for (std::int64_t wo = 0; wo < Wo; ++wo) {
+                  const std::int64_t wv = wo * stride - pad + j;
+                  if (wv < 0 || wv >= W) continue;
+                  acc[static_cast<std::size_t>(wv)] += w * grow[wo];
+                }
+              }
+            }
+          }
+        }
+        float* out = plane + h * W;
+        for (std::int64_t wv = 0; wv < W; ++wv)
+          out[wv] = static_cast<float>(acc[static_cast<std::size_t>(wv)]);
+      }
+    }
+  });
+}
+
+void blocked_conv2d_grad_w(const float* G, const float* X, float* DW,
+                           std::int64_t N, std::int64_t C, std::int64_t H,
+                           std::int64_t W, std::int64_t K, std::int64_t kh,
+                           std::int64_t kw, std::int64_t stride,
+                           std::int64_t pad, std::int64_t Ho, std::int64_t Wo,
+                           ThreadPool& pool) {
+  pool.parallel_for(0, K * C, [&](std::int64_t p0, std::int64_t p1) {
+    std::vector<double> acc(static_cast<std::size_t>(kh * kw));
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t ki = p / C, ci = p % C;
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (std::int64_t ni = 0; ni < N; ++ni) {
+        const float* gp = G + (ni * K + ki) * Ho * Wo;
+        const float* xp = X + (ni * C + ci) * H * W;
+        for (std::int64_t ho = 0; ho < Ho; ++ho) {
+          const float* grow = gp + ho * Wo;
+          for (std::int64_t i = 0; i < kh; ++i) {
+            const std::int64_t hi = ho * stride - pad + i;
+            if (hi < 0 || hi >= H) continue;
+            const float* xrow = xp + hi * W;
+            for (std::int64_t j = 0; j < kw; ++j) {
+              const std::int64_t off = j - pad;  // wi = wo*stride + off
+              const std::int64_t lo =
+                  off < 0 ? (-off + stride - 1) / stride : 0;
+              const std::int64_t top = W - 1 - off;
+              if (top < 0) continue;
+              const std::int64_t hi_wo = std::min(Wo, top / stride + 1);
+              if (lo >= hi_wo) continue;
+              double s = 0;
+              if (stride == 1) {
+                s = dot_f2d(grow + lo, xrow + lo + off, hi_wo - lo);
+              } else {
+                for (std::int64_t wo = lo; wo < hi_wo; ++wo)
+                  s += static_cast<double>(grow[wo]) * xrow[wo * stride + off];
+              }
+              acc[static_cast<std::size_t>(i * kw + j)] += s;
+            }
+          }
+        }
+      }
+      float* wplane = DW + (ki * C + ci) * kh * kw;
+      for (std::int64_t q = 0; q < kh * kw; ++q)
+        wplane[q] = static_cast<float>(acc[static_cast<std::size_t>(q)]);
+    }
+  });
+}
+
+void blocked_transpose_last2(const float* X, float* Y, std::int64_t outer,
+                             std::int64_t r, std::int64_t c, ThreadPool& pool) {
+  // 64x64 tiles: one tile touches 16KiB of each side, so the strided side
+  // stays resident in L1 while the other streams. Each output element is
+  // written by exactly one (matrix, row-tile) unit and the kernel moves data
+  // without arithmetic, so any unit-to-thread assignment is bit-identical.
+  // The tile is transposed through a contiguous staging buffer: writing
+  // straight to Y walks it with a stride of r floats, which for the
+  // power-of-two matrices that dominate (e.g. 1024x1024 weights) lands every
+  // store in the same L1 set and thrashes it. The buffer has no such stride,
+  // and the flush to Y is row-contiguous.
+  constexpr std::int64_t kT = 64;
+  const std::int64_t rtiles = (r + kT - 1) / kT;
+  pool.parallel_for(0, outer * rtiles, [&](std::int64_t u0, std::int64_t u1) {
+    alignas(64) float buf[kT * kT];
+    for (std::int64_t u = u0; u < u1; ++u) {
+      const std::int64_t mat = u / rtiles;
+      const std::int64_t i0 = (u % rtiles) * kT;
+      const std::int64_t ni = (i0 + kT < r ? i0 + kT : r) - i0;
+      const float* x = X + mat * r * c;
+      float* y = Y + mat * r * c;
+      for (std::int64_t j0 = 0; j0 < c; j0 += kT) {
+        const std::int64_t nj = (j0 + kT < c ? j0 + kT : c) - j0;
+        for (std::int64_t i = 0; i < ni; ++i) {
+          const float* __restrict xr = x + (i0 + i) * c + j0;
+          for (std::int64_t j = 0; j < nj; ++j) buf[j * kT + i] = xr[j];
+        }
+        for (std::int64_t j = 0; j < nj; ++j) {
+          float* __restrict yr = y + (j0 + j) * r + i0;
+          const float* __restrict br = buf + j * kT;
+          for (std::int64_t i = 0; i < ni; ++i) yr[i] = br[i];
+        }
+      }
+    }
+  });
+}
+
+}  // namespace detail
+}  // namespace rannc

@@ -1,0 +1,65 @@
+// Fused elementwise kernels (internal to src/tensor).
+//
+// Separate translation unit from kernels_blocked.cpp because these kernels
+// promise BIT-IDENTITY with the scalar reference loops they replace: they
+// are built with -ffp-contract=off so the compiler cannot fuse the written
+// multiply/add sequences into FMAs (the GEMM/conv TU wants that fusion; here
+// it would change results by one ulp per element and break the contract).
+#include "tensor/kernels_blocked.h"
+
+#include <cmath>
+
+#include "util/thread_pool.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define RANNC_KERNELS_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace rannc {
+namespace detail {
+
+void blocked_adam_step(const float* P, const float* G, const float* M,
+                       const float* V, float* PO, float* MO, float* VO,
+                       std::int64_t n, float lr, float b1, float b2, float eps,
+                       float bc1, float bc2, ThreadPool& pool) {
+  // One intrinsic per source-level float op and no FMA contraction, so every
+  // lane computes exactly what the reference scalar loop computes. Elements
+  // are independent; any range split is bit-identical.
+  pool.parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
+    std::int64_t i = lo;
+#if RANNC_KERNELS_AVX2
+    const __m256 vb1 = _mm256_set1_ps(b1), vrb1 = _mm256_set1_ps(1.0f - b1);
+    const __m256 vb2 = _mm256_set1_ps(b2), vrb2 = _mm256_set1_ps(1.0f - b2);
+    const __m256 vlr = _mm256_set1_ps(lr), veps = _mm256_set1_ps(eps);
+    const __m256 vbc1 = _mm256_set1_ps(bc1), vbc2 = _mm256_set1_ps(bc2);
+    for (; i + 8 <= hi; i += 8) {
+      const __m256 g = _mm256_loadu_ps(G + i);
+      const __m256 mo = _mm256_add_ps(
+          _mm256_mul_ps(vb1, _mm256_loadu_ps(M + i)), _mm256_mul_ps(vrb1, g));
+      const __m256 vo =
+          _mm256_add_ps(_mm256_mul_ps(vb2, _mm256_loadu_ps(V + i)),
+                        _mm256_mul_ps(_mm256_mul_ps(vrb2, g), g));
+      const __m256 mhat = _mm256_div_ps(mo, vbc1);
+      const __m256 vhat = _mm256_div_ps(vo, vbc2);
+      const __m256 po = _mm256_sub_ps(
+          _mm256_loadu_ps(P + i),
+          _mm256_div_ps(_mm256_mul_ps(vlr, mhat),
+                        _mm256_add_ps(_mm256_sqrt_ps(vhat), veps)));
+      _mm256_storeu_ps(MO + i, mo);
+      _mm256_storeu_ps(VO + i, vo);
+      _mm256_storeu_ps(PO + i, po);
+    }
+#endif
+    for (; i < hi; ++i) {
+      MO[i] = b1 * M[i] + (1 - b1) * G[i];
+      VO[i] = b2 * V[i] + (1 - b2) * G[i] * G[i];
+      const float mhat = MO[i] / bc1;
+      const float vhat = VO[i] / bc2;
+      PO[i] = P[i] - lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  });
+}
+
+}  // namespace detail
+}  // namespace rannc

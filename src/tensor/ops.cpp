@@ -1,14 +1,42 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 
+#include "obs/metrics.h"
+#include "tensor/kernels_blocked.h"
 #include "util/thread_pool.h"
 
 namespace rannc {
 
 namespace {
+
+std::atomic<int> g_naive_mode{-1};  // -1 = consult env on first use
+std::atomic<ThreadPool*> g_kernel_pool{nullptr};
+
+/// Per-op counters/histogram, resolved once per call site (function-local
+/// static) so the hot path is two relaxed atomic adds plus one histogram
+/// record.
+struct KernelMetrics {
+  obs::Counter& calls;
+  obs::Counter& flops;
+  obs::Histogram& flops_per_call;
+  explicit KernelMetrics(const std::string& op)
+      : calls(obs::metrics().counter("runtime.kernel." + op + ".calls")),
+        flops(obs::metrics().counter("runtime.kernel." + op + ".flops")),
+        flops_per_call(
+            obs::metrics().histogram("runtime.kernel." + op + ".flops_per_call")) {}
+  void record(double fl) {
+    calls.add(1);
+    flops.add(static_cast<std::int64_t>(fl));
+    flops_per_call.record(fl);
+  }
+};
 
 constexpr double kInvSqrt2 = 0.70710678118654752440;
 constexpr double kInvSqrt2Pi = 0.39894228040143267794;
@@ -31,15 +59,49 @@ Tensor elementwise_unary(const Tensor& a, float (*fn)(float)) {
   Tensor out(a.shape());
   const float* x = a.data();
   float* y = out.data();
-  ThreadPool::global().parallel_for(0, a.numel(),
-                                    [&](std::int64_t b, std::int64_t e) {
-                                      for (std::int64_t i = b; i < e; ++i)
-                                        y[i] = fn(x[i]);
-                                    });
+  kernel_pool().parallel_for(0, a.numel(),
+                             [&](std::int64_t b, std::int64_t e) {
+                               for (std::int64_t i = b; i < e; ++i)
+                                 y[i] = fn(x[i]);
+                             });
   return out;
 }
 
 }  // namespace
+
+// ---- kernel dispatch --------------------------------------------------------
+
+bool naive_kernels() {
+  int mode = g_naive_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    const char* env = std::getenv("RANNC_NAIVE_KERNELS");
+    mode = (env && env[0] == '1' && env[1] == '\0') ? 1 : 0;
+    g_naive_mode.store(mode, std::memory_order_relaxed);
+  }
+  return mode == 1;
+}
+
+void set_naive_kernels(bool naive) {
+  g_naive_mode.store(naive ? 1 : 0, std::memory_order_relaxed);
+}
+
+void set_kernel_pool(ThreadPool* pool) {
+  g_kernel_pool.store(pool, std::memory_order_relaxed);
+}
+
+ThreadPool& kernel_pool() {
+  if (ThreadPool* p = g_kernel_pool.load(std::memory_order_relaxed)) return *p;
+  // RANNC_THREADS=n caps kernel parallelism at n threads including the
+  // caller (matching ThreadPool::global's convention of workers + caller).
+  static ThreadPool* env_pool = [] {
+    const char* env = std::getenv("RANNC_THREADS");
+    if (!env) return static_cast<ThreadPool*>(nullptr);
+    const int n = std::atoi(env);
+    if (n <= 0) return static_cast<ThreadPool*>(nullptr);
+    return new ThreadPool(static_cast<unsigned>(n - 1));
+  }();
+  return env_pool ? *env_pool : ThreadPool::global();
+}
 
 // ---- matmul -----------------------------------------------------------------
 
@@ -59,7 +121,13 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   float* C = out.data();
   const bool shared_b = bb == 1;
 
-  ThreadPool::global().parallel_for(
+  static KernelMetrics km("matmul");
+  km.record(2.0 * static_cast<double>(ba * m) * static_cast<double>(ka) * n);
+  if (!naive_kernels()) {
+    detail::blocked_matmul(A, B, C, ba, m, ka, n, shared_b, kernel_pool());
+    return out;
+  }
+  kernel_pool().parallel_for(
       0, ba * m, [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
           const std::int64_t bi = r / m;
@@ -94,7 +162,14 @@ Tensor matmul_grad_a(const Tensor& g, const Tensor& b) {
   float* DA = da.data();
   const bool shared_b = bb == 1;
 
-  ThreadPool::global().parallel_for(
+  static KernelMetrics km("matmul_grad_a");
+  km.record(2.0 * static_cast<double>(bg * m) * static_cast<double>(n) * k);
+  if (!naive_kernels()) {
+    detail::blocked_matmul_grad_a(G, B, DA, bg, m, n, k, shared_b,
+                                  kernel_pool());
+    return da;
+  }
+  kernel_pool().parallel_for(
       0, bg * m, [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
           const std::int64_t bi = r / m;
@@ -127,10 +202,18 @@ Tensor matmul_grad_b(const Tensor& a, const Tensor& g, const Shape& b_shape) {
   const float* A = a.data();
   const float* G = g.data();
   float* DB = db.data();
+
+  static KernelMetrics km("matmul_grad_b");
+  km.record(2.0 * static_cast<double>(ba * m) * static_cast<double>(k) * n);
+  if (!naive_kernels()) {
+    detail::blocked_matmul_grad_b(A, G, DB, ba, m, k, n, bb == 1,
+                                  kernel_pool());
+    return db;
+  }
   if (bb == 1) {
     // Shared rhs: db[k,n] = sum over all batches of a^T g. Parallel over k
     // rows of db; each row reduction is sequential -> deterministic.
-    ThreadPool::global().parallel_for(
+    kernel_pool().parallel_for(
         0, k, [&](std::int64_t k0, std::int64_t k1) {
           for (std::int64_t kk = k0; kk < k1; ++kk) {
             float* dbrow = DB + kk * n;
@@ -143,7 +226,7 @@ Tensor matmul_grad_b(const Tensor& a, const Tensor& g, const Shape& b_shape) {
           }
         });
   } else {
-    ThreadPool::global().parallel_for(
+    kernel_pool().parallel_for(
         0, bb, [&](std::int64_t b0, std::int64_t b1) {
           for (std::int64_t bi = b0; bi < b1; ++bi) {
             const float* amat = A + bi * m * k;
@@ -184,7 +267,52 @@ Tensor transpose(const Tensor& a, const std::vector<int>& perm) {
 
   const float* X = a.data();
   float* Y = out.data();
-  ThreadPool::global().parallel_for(
+  if (!naive_kernels() && rank >= 2 && a.numel() > 0) {
+    // Trailing-axes swap (weight transposes, attention reshuffles): tiled
+    // 2-D transpose of `outer` independent matrices.
+    bool last2_swap = perm[rank - 2] == static_cast<int>(rank - 1) &&
+                      perm[rank - 1] == static_cast<int>(rank - 2);
+    for (std::size_t i = 0; i + 2 < rank; ++i)
+      last2_swap = last2_swap && perm[i] == static_cast<int>(i);
+    if (last2_swap) {
+      std::int64_t outer = 1;
+      for (std::size_t i = 0; i + 2 < rank; ++i) outer *= s.dims[i];
+      detail::blocked_transpose_last2(X, Y, outer,
+                                      s.dims[rank - 2], s.dims[rank - 1],
+                                      kernel_pool());
+      return out;
+    }
+    // General permutation, row-granular: decompose indices once per output
+    // row; the innermost output axis maps to a fixed input stride, so the
+    // inner loop is a memcpy (stride 1) or a single strided walk. A pure
+    // permutation — bit-identical to the per-element reference loop.
+    const std::int64_t row_len = out_shape.dims[rank - 1];
+    const std::int64_t inner_stride =
+        in_strides[static_cast<std::size_t>(perm[rank - 1])];
+    const std::int64_t rows = a.numel() / row_len;
+    kernel_pool().parallel_for(0, rows, [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t row = r0; row < r1; ++row) {
+        std::int64_t rem = row;
+        std::int64_t src = 0;
+        for (std::size_t i = rank - 1; i > 0; --i) {
+          const std::int64_t d = rem % out_shape.dims[i - 1];
+          rem /= out_shape.dims[i - 1];
+          src += d * in_strides[static_cast<std::size_t>(perm[i - 1])];
+        }
+        float* __restrict y = Y + row * row_len;
+        if (inner_stride == 1) {
+          std::memcpy(y, X + src, static_cast<std::size_t>(row_len) *
+                                      sizeof(float));
+        } else {
+          const float* __restrict x = X + src;
+          for (std::int64_t j = 0; j < row_len; ++j)
+            y[j] = x[j * inner_stride];
+        }
+      }
+    });
+    return out;
+  }
+  kernel_pool().parallel_for(
       0, a.numel(), [&](std::int64_t b, std::int64_t e) {
         std::vector<std::int64_t> idx(rank);
         for (std::int64_t o = b; o < e; ++o) {
@@ -211,7 +339,7 @@ Tensor add(const Tensor& a, const Tensor& b) {
   const float* X = a.data();
   const float* B = b.data();
   float* Y = out.data();
-  ThreadPool::global().parallel_for(0, a.numel(),
+  kernel_pool().parallel_for(0, a.numel(),
                                     [&](std::int64_t lo, std::int64_t hi) {
                                       for (std::int64_t i = lo; i < hi; ++i)
                                         Y[i] = X[i] + B[i % nb];
@@ -300,7 +428,7 @@ Tensor softmax_lastdim(const Tensor& a) {
   Tensor out(a.shape());
   const float* X = a.data();
   float* Y = out.data();
-  ThreadPool::global().parallel_for(0, rows, [&](std::int64_t r0, std::int64_t r1) {
+  kernel_pool().parallel_for(0, rows, [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t r = r0; r < r1; ++r) {
       const float* x = X + r * c;
       float* y = Y + r * c;
@@ -349,7 +477,7 @@ LayerNormResult layernorm(const Tensor& x, const Tensor& gamma,
   float* Y = res.y.data();
   float* Mean = res.mean.data();
   float* Rstd = res.rstd.data();
-  ThreadPool::global().parallel_for(0, rows, [&](std::int64_t r0, std::int64_t r1) {
+  kernel_pool().parallel_for(0, rows, [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t r = r0; r < r1; ++r) {
       const float* xr = X + r * h;
       float* yr = Y + r * h;
@@ -484,7 +612,16 @@ Tensor conv2d(const Tensor& x, const Tensor& w, std::int64_t stride,
   const float* X = x.data();
   const float* Wt = w.data();
   float* Y = out.data();
-  ThreadPool::global().parallel_for(0, N * K, [&](std::int64_t p0, std::int64_t p1) {
+
+  static KernelMetrics km("conv2d");
+  km.record(2.0 * static_cast<double>(N * K * Ho * Wo) *
+            static_cast<double>(C * kh * kw));
+  if (!naive_kernels()) {
+    detail::blocked_conv2d(X, Wt, Y, N, C, H, W, K, kh, kw, stride, pad, Ho,
+                           Wo, kernel_pool());
+    return out;
+  }
+  kernel_pool().parallel_for(0, N * K, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t p = p0; p < p1; ++p) {
       const std::int64_t n = p / K, k = p % K;
       float* plane = Y + (n * K + k) * Ho * Wo;
@@ -523,8 +660,17 @@ Tensor conv2d_grad_x(const Tensor& g, const Tensor& w, const Shape& x_shape,
   const float* G = g.data();
   const float* Wt = w.data();
   float* DX = dx.data();
+
+  static KernelMetrics km("conv2d_grad_x");
+  km.record(2.0 * static_cast<double>(N * K * Ho * Wo) *
+            static_cast<double>(C * kh * kw));
+  if (!naive_kernels()) {
+    detail::blocked_conv2d_grad_x(G, Wt, DX, N, C, H, W, K, kh, kw, stride,
+                                  pad, Ho, Wo, kernel_pool());
+    return dx;
+  }
   // Gather form over dx elements: deterministic under parallelism.
-  ThreadPool::global().parallel_for(0, N * C, [&](std::int64_t p0, std::int64_t p1) {
+  kernel_pool().parallel_for(0, N * C, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t p = p0; p < p1; ++p) {
       const std::int64_t n = p / C, c = p % C;
       float* plane = DX + (n * C + c) * H * W;
@@ -567,7 +713,16 @@ Tensor conv2d_grad_w(const Tensor& g, const Tensor& x, const Shape& w_shape,
   const float* G = g.data();
   const float* X = x.data();
   float* DW = dw.data();
-  ThreadPool::global().parallel_for(0, K * C, [&](std::int64_t p0, std::int64_t p1) {
+
+  static KernelMetrics km("conv2d_grad_w");
+  km.record(2.0 * static_cast<double>(N * K * Ho * Wo) *
+            static_cast<double>(C * kh * kw));
+  if (!naive_kernels()) {
+    detail::blocked_conv2d_grad_w(G, X, DW, N, C, H, W, K, kh, kw, stride,
+                                  pad, Ho, Wo, kernel_pool());
+    return dw;
+  }
+  kernel_pool().parallel_for(0, K * C, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t p = p0; p < p1; ++p) {
       const std::int64_t k = p / C, c = p % C;
       float* wplane = DW + (k * C + c) * kh * kw;
@@ -604,7 +759,7 @@ BatchNormResult batchnorm2d(const Tensor& x, const Tensor& gamma,
   const float* Gm = gamma.data();
   const float* Bt = beta.data();
   float* Y = res.y.data();
-  ThreadPool::global().parallel_for(0, C, [&](std::int64_t c0, std::int64_t c1) {
+  kernel_pool().parallel_for(0, C, [&](std::int64_t c0, std::int64_t c1) {
     for (std::int64_t c = c0; c < c1; ++c) {
       double mu = 0;
       for (std::int64_t n = 0; n < N; ++n) {
@@ -643,7 +798,7 @@ BatchNormGrads batchnorm2d_grad(const Tensor& g, const Tensor& x,
   const float* X = x.data();
   const float* Gm = gamma.data();
   float* DX = out.dx.data();
-  ThreadPool::global().parallel_for(0, C, [&](std::int64_t c0, std::int64_t c1) {
+  kernel_pool().parallel_for(0, C, [&](std::int64_t c0, std::int64_t c1) {
     for (std::int64_t c = c0; c < c1; ++c) {
       const double mu = fw.mean.at(c), rstd = fw.rstd.at(c);
       double dbeta = 0, dgamma = 0;

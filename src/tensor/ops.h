@@ -13,6 +13,30 @@
 
 namespace rannc {
 
+class ThreadPool;
+
+// ---- kernel dispatch --------------------------------------------------------
+//
+// The matmul and conv families have two implementations: the naive reference
+// loops (the shapes the comments in ops.cpp describe) and cache-blocked
+// kernels compiled -O3/-mavx2 (src/tensor/kernels_blocked.*). The blocked
+// kernels are the default; RANNC_NAIVE_KERNELS=1 (or set_naive_kernels) pins
+// the reference path for parity testing and benchmarking.
+
+/// True when ops run the naive reference kernels instead of the blocked ones.
+/// First call latches RANNC_NAIVE_KERNELS from the environment.
+bool naive_kernels();
+/// Overrides the kernel choice at runtime (wins over the environment).
+void set_naive_kernels(bool naive);
+
+/// Overrides the pool used by all tensor kernels (nullptr restores the
+/// default: a pool sized by RANNC_THREADS if set, else ThreadPool::global).
+/// The caller keeps ownership and must outlive kernel use. Blocked-kernel
+/// results are bit-identical across pool sizes.
+void set_kernel_pool(ThreadPool* pool);
+/// The pool tensor kernels parallelize over (see set_kernel_pool).
+ThreadPool& kernel_pool();
+
 // ---- linear algebra --------------------------------------------------------
 
 /// a [m,k] x b [k,n]; batched forms [B,m,k]x[B,k,n] and [B,m,k]x[k,n].

@@ -1,15 +1,22 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
 
+#include "util/arena.h"
+
 namespace rannc {
 
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
-  data_ = std::shared_ptr<float[]>(new float[static_cast<std::size_t>(
-      std::max<std::int64_t>(1, shape_.numel()))]);
+  const std::int64_t n = std::max<std::int64_t>(1, shape_.numel());
+  data_ = Arena::global().alloc(n);
+  assert(reinterpret_cast<std::uintptr_t>(data_.get()) % 64 == 0 &&
+         "tensor buffers are 64-byte aligned");
+  assert(Arena::capacity_floats(data_.get()) >= n &&
+         "tensor buffer shorter than numel(shape)");
 }
 
 Tensor::Tensor(Shape shape, float fill_v) : Tensor(std::move(shape)) {

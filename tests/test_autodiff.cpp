@@ -302,5 +302,52 @@ TEST(Interpreter, FanOutAccumulatesGradients) {
   EXPECT_FLOAT_EQ(grads.at(x).at(1), 2.0f);
 }
 
+TEST(Interpreter, ParamMemoReusesUntilInvalidated) {
+  TaskGraph g("memo");
+  ValueId w = g.add_param("w", Shape{4, 3});
+  ValueId tr = g.add_task("tr", OpKind::Transpose, {w}, Shape{3, 4},
+                          DType::F32,
+                          OpAttrs{}.set("perm0", std::int64_t{1})
+                                   .set("perm1", std::int64_t{0}));
+  g.mark_output(tr);
+  Interpreter interp(g);
+  interp.set_param_memo(true);
+  Tensor p = Tensor::uniform(Shape{4, 3}, 1.0f, 3);
+  const std::vector<TaskId> all = g.topo_order();
+
+  TensorMap v1;
+  v1.emplace(w, p);
+  ForwardCache c1;
+  interp.forward(all, v1, c1);
+  const float* first = v1.at(tr).data();
+
+  // Same param buffer again: the memoized transpose is handed back as-is.
+  TensorMap v2;
+  v2.emplace(w, p);
+  ForwardCache c2;
+  interp.forward(all, v2, c2);
+  EXPECT_EQ(v2.at(tr).data(), first);
+
+  // A different buffer for the same value defeats the memo on its own: the
+  // stored source pointer no longer matches, so the entry is recomputed.
+  Tensor q = Tensor::uniform(Shape{4, 3}, 1.0f, 4);
+  TensorMap v3;
+  v3.emplace(w, q);
+  ForwardCache c3;
+  interp.forward(all, v3, c3);
+  EXPECT_NE(v3.at(tr).data(), first);
+  EXPECT_FLOAT_EQ(v3.at(tr).at(0), q.at(0));
+
+  // In-place rewrites keep the pointer, which is exactly what
+  // invalidate_param_memo is for (the trainers call it around each step).
+  p.data()[0] = 42.0f;
+  interp.invalidate_param_memo();
+  TensorMap v4;
+  v4.emplace(w, p);
+  ForwardCache c4;
+  interp.forward(all, v4, c4);
+  EXPECT_FLOAT_EQ(v4.at(tr).at(0), 42.0f);
+}
+
 }  // namespace
 }  // namespace rannc

@@ -3,11 +3,17 @@
 // single-device training (the paper's loss-parity validation, Section IV-B).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstring>
+#include <stdexcept>
 
+#include "comm/endpoint.h"
 #include "models/mlp.h"
 #include "runtime/pipeline_runtime.h"
 #include "runtime/trainer.h"
+#include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace rannc {
 namespace {
@@ -224,6 +230,199 @@ TEST(PipelineTrainer, RecomputeMatchesStored) {
     const auto mbs = make_microbatches(m.graph, 2, 50 + static_cast<std::uint64_t>(step));
     EXPECT_FLOAT_EQ(a.step(mbs), b.step(mbs));
   }
+}
+
+// ---- copy-on-write snapshots ------------------------------------------------
+
+bool maps_bit_equal(const TensorMap& a, const TensorMap& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [v, t] : a) {
+    auto it = b.find(v);
+    if (it == b.end() || it->second.numel() != t.numel()) return false;
+    if (std::memcmp(t.data(), it->second.data(),
+                    static_cast<std::size_t>(t.numel()) * sizeof(float)) != 0)
+      return false;
+  }
+  return true;
+}
+
+TEST(Optimizer, AdamKernelBitIdenticalToReferenceLoop) {
+  // The fused Adam kernel (kernels_elementwise.cpp, -ffp-contract=off)
+  // promises the exact bits of the scalar reference loop, at any thread
+  // count. Ragged sizes cover the vector tails.
+  OptimizerConfig cfg;
+  cfg.kind = OptimizerConfig::Kind::Adam;
+  cfg.lr = 0.01f;
+  ThreadPool wide(3);
+  for (std::int64_t n : {1, 7, 8, 64, 1000, 4097}) {
+    Optimizer ref(cfg), fast(cfg), threaded(cfg);
+    TensorMap pr, pf, pt;
+    Tensor init = Tensor::uniform(Shape{n}, 1.0f, 100 + static_cast<std::uint64_t>(n));
+    pr.emplace(0, init.clone());
+    pf.emplace(0, init.clone());
+    pt.emplace(0, init.clone());
+    for (int step = 0; step < 3; ++step) {
+      TensorMap grads;
+      grads.emplace(0, Tensor::uniform(Shape{n}, 1.0f,
+                                       7 * static_cast<std::uint64_t>(step) + 1));
+      set_naive_kernels(true);
+      ref.step(pr, grads);
+      set_naive_kernels(false);
+      fast.step(pf, grads);
+      set_kernel_pool(&wide);
+      threaded.step(pt, grads);
+      set_kernel_pool(nullptr);
+      EXPECT_TRUE(maps_bit_equal(pr, pf)) << "n=" << n << " step=" << step;
+      EXPECT_TRUE(maps_bit_equal(pr, pt)) << "n=" << n << " step=" << step;
+    }
+    const OptStateMap sr = ref.export_state();
+    const OptStateMap sf = fast.export_state();
+    for (const auto& [v, s] : sr) {
+      EXPECT_EQ(std::memcmp(s.m.data(), sf.at(v).m.data(),
+                            static_cast<std::size_t>(n) * sizeof(float)), 0);
+      EXPECT_EQ(std::memcmp(s.v.data(), sf.at(v).v.data(),
+                            static_cast<std::size_t>(n) * sizeof(float)), 0);
+    }
+  }
+}
+
+TEST(Optimizer, CopyOnWriteStepPreservesSnapshotAndMatchesInPlace) {
+  OptimizerConfig cfg;
+  cfg.kind = OptimizerConfig::Kind::Adam;
+  cfg.lr = 0.1f;
+  TensorMap grads;
+  grads.emplace(0, Tensor::uniform(Shape{64}, 1.0f, 2));
+
+  // In-place reference: no aliases, buffers are mutated directly.
+  Optimizer ref_opt(cfg);
+  TensorMap ref_params;
+  ref_params.emplace(0, Tensor::uniform(Shape{64}, 1.0f, 1));
+  const float* ref_buf = ref_params.at(0).data();
+  ref_opt.step(ref_params, grads);
+  EXPECT_EQ(ref_params.at(0).data(), ref_buf) << "unshared step must be in place";
+
+  // CoW: a shallow snapshot alias forces the update out of place.
+  Optimizer cow_opt(cfg);
+  TensorMap cow_params;
+  cow_params.emplace(0, Tensor::uniform(Shape{64}, 1.0f, 1));
+  TensorMap snapshot = cow_params;  // shallow
+  Tensor before = cow_params.at(0).clone();
+  cow_opt.step(cow_params, grads);
+  EXPECT_NE(cow_params.at(0).data(), snapshot.at(0).data());
+  EXPECT_FLOAT_EQ(max_abs_diff(snapshot.at(0), before), 0.0f)
+      << "snapshot bytes must survive the step";
+  // Same arithmetic either way: CoW and in-place results are bit-identical.
+  EXPECT_TRUE(maps_bit_equal(ref_params, cow_params));
+}
+
+TEST(Optimizer, SnapshotAdoptRollsBackBitExactly) {
+  OptimizerConfig cfg;
+  cfg.kind = OptimizerConfig::Kind::Adam;
+  cfg.lr = 0.05f;
+  Optimizer opt(cfg);
+  TensorMap params, g1, g2;
+  params.emplace(0, Tensor::uniform(Shape{32}, 1.0f, 3));
+  g1.emplace(0, Tensor::uniform(Shape{32}, 1.0f, 4));
+  g2.emplace(0, Tensor::uniform(Shape{32}, 1.0f, 5));
+
+  opt.step(params, g1);
+  OptStateMap at1 = opt.export_state();  // deep reference copy
+  OptStateMap snap = opt.snapshot_state();  // shallow CoW snapshot
+  const std::int64_t t1 = opt.step_count();
+
+  opt.step(params, g2);  // CoW: must not disturb snap's buffers
+  opt.adopt_state(std::move(snap), t1);
+
+  EXPECT_EQ(opt.step_count(), t1);
+  OptStateMap restored = opt.export_state();
+  ASSERT_EQ(restored.size(), at1.size());
+  for (const auto& [v, s] : at1) {
+    EXPECT_FLOAT_EQ(max_abs_diff(s.m, restored.at(v).m), 0.0f);
+    EXPECT_FLOAT_EQ(max_abs_diff(s.v, restored.at(v).v), 0.0f);
+  }
+}
+
+TEST(PipelineTrainer, CowRollbackRestoresExactBytes) {
+  BuiltModel m = build_mlp(test_mlp());
+  OptimizerConfig oc;
+  oc.kind = OptimizerConfig::Kind::Adam;
+  oc.lr = 0.01f;
+  PipelineOptions popt;
+  popt.opt = oc;
+  popt.seed = 13;  // transactional CoW snapshots are the default
+  std::atomic<bool> fail{false};
+  popt.stage_hook = [&](int stage, int) {
+    if (fail.load() && stage == 1) throw std::runtime_error("injected");
+  };
+  PipelineTrainer pipeline(m.graph, chunk_stages(m.graph, 3), popt);
+
+  const auto mbs = make_microbatches(m.graph, 2, 77);
+  pipeline.step(mbs);
+  pipeline.step(mbs);
+  TensorMap good;  // deep copy of the post-step-2 parameters
+  for (const auto& [v, t] : pipeline.gather_params()) good.emplace(v, t.clone());
+  OptStateMap good_state = pipeline.gather_opt_state();
+  const std::int64_t good_step = pipeline.opt_step_count();
+
+  fail.store(true);
+  EXPECT_THROW(pipeline.step(mbs), std::runtime_error);
+  EXPECT_TRUE(maps_bit_equal(good, pipeline.gather_params()))
+      << "rollback must restore the exact pre-step parameter bytes";
+  EXPECT_EQ(pipeline.opt_step_count(), good_step);
+  OptStateMap rolled = pipeline.gather_opt_state();
+  ASSERT_EQ(rolled.size(), good_state.size());
+  for (const auto& [v, s] : good_state) {
+    EXPECT_FLOAT_EQ(max_abs_diff(s.m, rolled.at(v).m), 0.0f);
+    EXPECT_FLOAT_EQ(max_abs_diff(s.v, rolled.at(v).v), 0.0f);
+  }
+
+  // The rolled-back trainer keeps training, identically to a twin that
+  // never failed.
+  fail.store(false);
+  PipelineOptions twin_opt;
+  twin_opt.opt = oc;
+  twin_opt.seed = 13;
+  PipelineTrainer twin(m.graph, chunk_stages(m.graph, 3), twin_opt);
+  twin.step(mbs);
+  twin.step(mbs);
+  EXPECT_FLOAT_EQ(pipeline.step(mbs), twin.step(mbs));
+}
+
+TEST(PipelineTrainer, EagerAndCowSnapshotsTrainBitIdentically) {
+  BuiltModel m = build_mlp(test_mlp());
+  OptimizerConfig oc;
+  oc.kind = OptimizerConfig::Kind::Adam;
+  oc.lr = 0.01f;
+  PipelineOptions cow;
+  cow.opt = oc;
+  cow.seed = 21;
+  PipelineOptions eager = cow;
+  eager.eager_snapshots = true;
+  PipelineTrainer a(m.graph, chunk_stages(m.graph, 2), cow);
+  PipelineTrainer b(m.graph, chunk_stages(m.graph, 2), eager);
+  for (int step = 0; step < 5; ++step) {
+    const auto mbs =
+        make_microbatches(m.graph, 2, 30 + static_cast<std::uint64_t>(step));
+    EXPECT_FLOAT_EQ(a.step(mbs), b.step(mbs)) << "step " << step;
+  }
+  EXPECT_TRUE(maps_bit_equal(a.gather_params(), b.gather_params()));
+}
+
+TEST(Endpoint, TensorHandoffIsZeroCopy) {
+  // Inter-stage boundary traffic moves tensor handles, not bytes: the
+  // consumer receives the producer's buffer.
+  comm::FabricEndpoint<TensorMap> ep(4, nullptr, true, [](const TensorMap&) {
+    return static_cast<std::int64_t>(0);
+  });
+  Tensor t = Tensor::uniform(Shape{256}, 1.0f, 9);
+  const float* produced = t.data();
+  TensorMap m;
+  m.emplace(0, std::move(t));
+  ASSERT_TRUE(ep.send(std::move(m)));
+  RecvStatus st = RecvStatus::Closed;
+  auto got = ep.recv(&st, 0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at(0).data(), produced);
 }
 
 }  // namespace

@@ -1,12 +1,18 @@
 // Tests for the dense tensor, the thread pool, and every forward kernel
-// against small hand-computed references.
+// against small hand-computed references — plus the blocked-kernel parity
+// suite (blocked vs naive over a ragged shape catalog, bit-identity across
+// thread counts) and the slab arena.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
 
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
+#include "util/arena.h"
 #include "util/thread_pool.h"
 
 namespace rannc {
@@ -259,6 +265,220 @@ TEST(GlobalAvgPool, AveragesPlane) {
   Tensor y = global_avgpool2d(x);
   EXPECT_FLOAT_EQ(y.at(0), 2.5f);
   EXPECT_FLOAT_EQ(y.at(1), 25.0f);
+}
+
+// ---- blocked-kernel parity --------------------------------------------------
+
+/// Pins the kernel path for one scope and restores the blocked default.
+struct NaiveScope {
+  explicit NaiveScope(bool naive) { set_naive_kernels(naive); }
+  ~NaiveScope() { set_naive_kernels(false); }
+};
+
+bool bit_equal(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+struct MmCase {
+  std::int64_t ba, m, k, n;
+  bool shared_b;
+};
+
+// Ragged sizes on purpose: every tile/vector tail path gets exercised.
+const std::vector<MmCase> kMmCatalog = {
+    {1, 1, 1, 1, true},      {1, 4, 16, 16, true},   {1, 33, 385, 130, true},
+    {2, 7, 19, 23, true},    {3, 64, 64, 64, false}, {1, 128, 384, 384, true},
+    {4, 5, 3, 2, false},     {1, 1, 512, 1, true},   {2, 31, 17, 257, true},
+    {1, 63, 300, 15, true},  {2, 8, 1, 8, false},
+};
+
+TEST(KernelParity, MatmulFamilyMatchesNaiveOverCatalog) {
+  for (const MmCase& c : kMmCatalog) {
+    Tensor a = Tensor::uniform(Shape{c.ba, c.m, c.k}, 1.0f,
+                               17 * static_cast<std::uint64_t>(c.m) + c.k);
+    Tensor b = c.shared_b
+                   ? Tensor::uniform(Shape{c.k, c.n}, 1.0f, 7 * c.n + 1)
+                   : Tensor::uniform(Shape{c.ba, c.k, c.n}, 1.0f, 7 * c.n + 1);
+    Tensor cn, dan, dbn, g;
+    {
+      NaiveScope naive(true);
+      cn = matmul(a, b);
+      g = Tensor::uniform(cn.shape(), 1.0f, 99);
+      dan = matmul_grad_a(g, b);
+      dbn = matmul_grad_b(a, g, b.shape());
+    }
+    Tensor cb = matmul(a, b);
+    Tensor dab = matmul_grad_a(g, b);
+    Tensor dbb = matmul_grad_b(a, g, b.shape());
+    const std::string at = "case ba=" + std::to_string(c.ba) +
+                           " m=" + std::to_string(c.m) +
+                           " k=" + std::to_string(c.k) +
+                           " n=" + std::to_string(c.n);
+    EXPECT_LE(max_abs_diff(cn, cb), 1e-5f) << at;
+    EXPECT_LE(max_abs_diff(dbn, dbb), 1e-5f) << at;
+    // grad_a double-accumulates in both paths: exactly equal, not just close.
+    EXPECT_TRUE(bit_equal(dan, dab)) << at;
+  }
+}
+
+struct ConvCase {
+  std::int64_t N, C, H, W, K, kh, kw, stride, pad;
+};
+
+const std::vector<ConvCase> kConvCatalog = {
+    {2, 3, 13, 17, 4, 3, 3, 1, 1}, {1, 2, 8, 8, 3, 5, 5, 2, 2},
+    {2, 4, 7, 9, 2, 3, 3, 2, 0},   {1, 1, 5, 5, 1, 1, 1, 1, 0},
+    {2, 3, 16, 16, 8, 3, 3, 1, 0}, {1, 2, 9, 9, 2, 7, 7, 3, 3},
+};
+
+TEST(KernelParity, ConvFamilyBitIdenticalToNaive) {
+  for (const ConvCase& c : kConvCatalog) {
+    Tensor x = Tensor::uniform(Shape{c.N, c.C, c.H, c.W}, 1.0f, 5);
+    Tensor w = Tensor::uniform(Shape{c.K, c.C, c.kh, c.kw}, 1.0f, 6);
+    Tensor yn, dxn, dwn, g;
+    {
+      NaiveScope naive(true);
+      yn = conv2d(x, w, c.stride, c.pad);
+      g = Tensor::uniform(yn.shape(), 1.0f, 8);
+      dxn = conv2d_grad_x(g, w, x.shape(), c.stride, c.pad);
+      dwn = conv2d_grad_w(g, x, w.shape(), c.stride, c.pad);
+    }
+    Tensor yb = conv2d(x, w, c.stride, c.pad);
+    Tensor dxb = conv2d_grad_x(g, w, x.shape(), c.stride, c.pad);
+    Tensor dwb = conv2d_grad_w(g, x, w.shape(), c.stride, c.pad);
+    const std::string at = "case kh=" + std::to_string(c.kh) +
+                           " stride=" + std::to_string(c.stride) +
+                           " pad=" + std::to_string(c.pad);
+    // Both paths accumulate each output element in double over the same
+    // per-element term order, so blocked == naive to the bit.
+    EXPECT_TRUE(bit_equal(yn, yb)) << at;
+    EXPECT_TRUE(bit_equal(dxn, dxb)) << at;
+    EXPECT_LE(max_abs_diff(dwn, dwb), 1e-5f) << at;
+  }
+}
+
+struct TrCase {
+  std::vector<std::int64_t> dims;
+  std::vector<int> perm;
+};
+
+// Mixes the trailing-swap fast path (last two axes), the row-granular
+// general path, power-of-two sizes (the staging-buffer case), and ragged
+// tails.
+const std::vector<TrCase> kTrCatalog = {
+    {{5, 7}, {1, 0}},           {{64, 64}, {1, 0}},
+    {{128, 96}, {1, 0}},        {{129, 65}, {1, 0}},
+    {{1, 300}, {1, 0}},         {{2, 3, 5}, {0, 2, 1}},
+    {{2, 4, 16, 16}, {0, 1, 3, 2}}, {{2, 3, 4, 5}, {0, 2, 1, 3}},
+    {{3, 4, 5}, {2, 0, 1}},     {{2, 3, 4, 5}, {3, 2, 1, 0}},
+    {{6, 1, 9}, {1, 0, 2}},
+};
+
+TEST(KernelParity, TransposeBitIdenticalToNaiveOverCatalog) {
+  for (const TrCase& c : kTrCatalog) {
+    Shape s;
+    s.dims = c.dims;
+    Tensor x = Tensor::uniform(s, 1.0f, 11 * c.dims[0] + c.dims.back());
+    Tensor yn;
+    {
+      NaiveScope naive(true);
+      yn = transpose(x, c.perm);
+    }
+    Tensor yb = transpose(x, c.perm);
+    // A transpose is a pure permutation: any evaluation order moves the
+    // same bits, so blocked == naive exactly.
+    EXPECT_TRUE(bit_equal(yn, yb))
+        << "rank=" << c.dims.size() << " d0=" << c.dims[0];
+  }
+}
+
+TEST(KernelParity, BlockedResultsBitIdenticalAcrossThreadCounts) {
+  ThreadPool solo(0), wide(3);
+  Tensor a = Tensor::uniform(Shape{2, 77, 151}, 1.0f, 1);
+  Tensor b = Tensor::uniform(Shape{151, 203}, 1.0f, 2);
+  set_kernel_pool(&solo);
+  Tensor c1 = matmul(a, b);
+  Tensor g = Tensor::uniform(c1.shape(), 1.0f, 3);
+  Tensor da1 = matmul_grad_a(g, b);
+  Tensor db1 = matmul_grad_b(a, g, b.shape());
+  Tensor x = Tensor::uniform(Shape{2, 3, 11, 13}, 1.0f, 4);
+  Tensor w = Tensor::uniform(Shape{4, 3, 3, 3}, 1.0f, 5);
+  Tensor y1 = conv2d(x, w, 1, 1);
+  Tensor t1 = transpose(a, {0, 2, 1});
+  set_kernel_pool(&wide);
+  Tensor c2 = matmul(a, b);
+  Tensor da2 = matmul_grad_a(g, b);
+  Tensor db2 = matmul_grad_b(a, g, b.shape());
+  Tensor y2 = conv2d(x, w, 1, 1);
+  Tensor t2 = transpose(a, {0, 2, 1});
+  set_kernel_pool(nullptr);
+  EXPECT_TRUE(bit_equal(c1, c2));
+  EXPECT_TRUE(bit_equal(da1, da2));
+  EXPECT_TRUE(bit_equal(db1, db2));
+  EXPECT_TRUE(bit_equal(y1, y2));
+  EXPECT_TRUE(bit_equal(t1, t2));
+}
+
+// ---- arena ------------------------------------------------------------------
+
+TEST(Arena, BuffersAre64ByteAlignedWithSufficientCapacity) {
+  for (std::int64_t n : {1, 7, 63, 64, 65, 1000, 4096, 300000}) {
+    Tensor t(Shape{n});
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % 64, 0u) << n;
+    EXPECT_GE(Arena::capacity_floats(t.data()), n) << n;
+  }
+}
+
+TEST(Arena, ReusesReleasedSlabs) {
+  Arena& arena = Arena::global();
+  if (!arena.enabled()) GTEST_SKIP() << "arena disabled via RANNC_ARENA=0";
+  const float* p1;
+  {
+    Tensor t(Shape{512});
+    p1 = t.data();
+  }
+  const auto before = arena.stats();
+  Tensor t2(Shape{512});  // same size class: must come off the free list
+  const auto after = arena.stats();
+  EXPECT_EQ(t2.data(), p1);
+  EXPECT_EQ(after.pool_hits, before.pool_hits + 1);
+  EXPECT_EQ(after.fresh_bytes, before.fresh_bytes);
+}
+
+TEST(Arena, EndEpochCountsAndTrimDropsIdleSlabs) {
+  Arena& arena = Arena::global();
+  if (!arena.enabled()) GTEST_SKIP() << "arena disabled via RANNC_ARENA=0";
+  { Tensor t(Shape{2048}); }  // leaves one idle slab pooled
+  EXPECT_GT(arena.stats().pooled_bytes, 0);
+  const auto e0 = arena.stats().epochs;
+  arena.end_epoch();
+  EXPECT_EQ(arena.stats().epochs, e0 + 1);
+  arena.trim();
+  EXPECT_EQ(arena.stats().pooled_bytes, 0);
+}
+
+TEST(Arena, DisabledAllocationsStillAlignedAndSafe) {
+  Arena& arena = Arena::global();
+  const bool was = arena.enabled();
+  arena.set_enabled(false);
+  {
+    Tensor t(Shape{333}, 1.0f);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % 64, 0u);
+    EXPECT_FLOAT_EQ(t.sum(), 333.0f);
+  }  // released while disabled: freed eagerly, not pooled
+  arena.set_enabled(was);
+}
+
+TEST(Tensor, IsSharedTracksAliases) {
+  Tensor a(Shape{8}, 1.0f);
+  EXPECT_FALSE(a.is_shared());
+  {
+    Tensor alias = a;
+    EXPECT_TRUE(a.is_shared());
+  }
+  EXPECT_FALSE(a.is_shared());
 }
 
 TEST(BatchNorm, NormalizesChannels) {
