@@ -103,6 +103,7 @@ void Fabric::reset() {
   std::fill(received_.begin(), received_.end(), std::int64_t{0});
   std::fill(busy_.begin(), busy_.end(), 0.0);
   std::fill(busy_until_.begin(), busy_until_.end(), 0.0);
+  log_.clear();
 }
 
 void Fabric::advance_clocks(double t) {
@@ -278,20 +279,41 @@ std::vector<double> Fabric::run_step(const std::vector<Transfer>& transfers) {
   for (std::size_t i = 0; i < n; ++i)
     if (!st[i].done) finish[i] = now;
 
-  if (rec_ != nullptr) {
+  if (rec_ != nullptr || log_enabled_) {
     // Close out still-open counter series at the step's end.
-    for (std::size_t l = 0; l < links_.size(); ++l)
-      emit_share(static_cast<LinkId>(l), now, 0.0);
+    if (rec_ != nullptr)
+      for (std::size_t l = 0; l < links_.size(); ++l)
+        emit_share(static_cast<LinkId>(l), now, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       const Transfer& t = transfers[i];
-      rec_->complete(obs::Domain::SimFabric, st[i].path[0],
-                     "xfer r" + std::to_string(t.src) + "->r" +
-                         std::to_string(t.dst),
-                     "fabric", st[i].activate * 1e6,
-                     (finish[i] - st[i].activate) * 1e6,
-                     "\"src\":" + std::to_string(t.src) +
-                         ",\"dst\":" + std::to_string(t.dst) +
-                         ",\"bytes\":" + obs::json_double(t.bytes));
+      // Uncontended, fault-free flow time and the slowest path link (the
+      // first on ties — deterministic): the causal baseline the
+      // attribution layer charges contention queuing against.
+      double min_bw = kInf;
+      LinkId bottleneck = st[i].path[0];
+      for (int k = 0; k < st[i].npath; ++k) {
+        const double bw =
+            links_[static_cast<std::size_t>(st[i].path[k])].bandwidth;
+        if (bw < min_bw) {
+          min_bw = bw;
+          bottleneck = st[i].path[k];
+        }
+      }
+      const double nominal =
+          min_bw > 0 ? std::max(0.0, t.bytes) / min_bw : 0.0;
+      if (log_enabled_)
+        log_.push_back({t.src, t.dst, t.bytes, st[i].activate, finish[i],
+                        nominal, bottleneck});
+      if (rec_ != nullptr)
+        rec_->complete(obs::Domain::SimFabric, st[i].path[0],
+                       "xfer r" + std::to_string(t.src) + "->r" +
+                           std::to_string(t.dst),
+                       "fabric", st[i].activate * 1e6,
+                       (finish[i] - st[i].activate) * 1e6,
+                       "\"src\":" + std::to_string(t.src) +
+                           ",\"dst\":" + std::to_string(t.dst) +
+                           ",\"bytes\":" + obs::json_double(t.bytes) +
+                           ",\"nominal_s\":" + obs::json_double(nominal));
     }
   }
 
@@ -379,6 +401,29 @@ double Fabric::broadcast(const std::vector<Rank>& ranks, Rank root,
     have += static_cast<int>(ts.size());
   }
   return finish_max(ranks);
+}
+
+void attribute_fabric(obs::AttributionReport& rep, const Fabric& fabric) {
+  std::vector<obs::FabricTransfer> ts;
+  ts.reserve(fabric.transfer_log().size());
+  for (const Fabric::TransferRecord& r : fabric.transfer_log()) {
+    obs::FabricTransfer t;
+    t.src = r.src;
+    t.dst = r.dst;
+    t.bytes = r.bytes;
+    t.activate = r.activate;
+    t.finish = r.finish;
+    t.nominal = r.nominal;
+    t.bottleneck_link = r.bottleneck;
+    ts.push_back(t);
+  }
+  std::vector<std::string> names(static_cast<std::size_t>(fabric.num_links()));
+  std::vector<double> busy(static_cast<std::size_t>(fabric.num_links()));
+  for (LinkId l = 0; l < fabric.num_links(); ++l) {
+    names[static_cast<std::size_t>(l)] = fabric.link(l).name;
+    busy[static_cast<std::size_t>(l)] = fabric.link_busy_seconds(l);
+  }
+  obs::attach_links(rep, ts, names, busy, fabric.max_clock());
 }
 
 }  // namespace comm

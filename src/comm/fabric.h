@@ -24,6 +24,7 @@
 
 #include "cluster/cluster_spec.h"
 #include "comm/fault.h"
+#include "obs/attribution.h"
 #include "obs/trace.h"
 
 namespace rannc {
@@ -112,6 +113,28 @@ class Fabric {
     return busy_[static_cast<std::size_t>(l)];
   }
 
+  /// One completed transfer, as appended to the transfer log. `activate`
+  /// is the flow start (after link latency), `nominal` the uncontended,
+  /// fault-free flow seconds (bytes / slowest-path-link bandwidth); the
+  /// difference between the actual flow time and `nominal` is contention
+  /// queuing, attributed to `bottleneck`.
+  struct TransferRecord {
+    Rank src = 0;
+    Rank dst = 0;
+    double bytes = 0;
+    double activate = 0;
+    double finish = 0;
+    double nominal = 0;
+    LinkId bottleneck = -1;
+  };
+  /// Enables the per-transfer log consumed by the attribution layer (off
+  /// by default; appended in deterministic issue order).
+  void set_transfer_log(bool on) { log_enabled_ = on; }
+  [[nodiscard]] const std::vector<TransferRecord>& transfer_log() const {
+    return log_;
+  }
+  void clear_transfer_log() { log_.clear(); }
+
   struct Transfer {
     Rank src = 0;
     Rank dst = 0;
@@ -171,7 +194,14 @@ class Fabric {
   std::vector<double> fail_time_;
   std::size_t num_fault_windows_ = 0;
   obs::TraceRecorder* rec_ = nullptr;
+  bool log_enabled_ = false;
+  std::vector<TransferRecord> log_;
 };
+
+/// Folds the fabric's transfer log and per-link busy accounting into an
+/// attribution report (adapter over obs::attach_links; enable the log
+/// with set_transfer_log before replaying the communication pattern).
+void attribute_fabric(obs::AttributionReport& rep, const Fabric& fabric);
 
 }  // namespace comm
 }  // namespace rannc

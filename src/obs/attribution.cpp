@@ -1,0 +1,448 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/trace.h"  // json_double / json_string
+
+namespace rannc {
+namespace obs {
+
+namespace {
+
+/// Conservation cross-check tolerance: the fitted bucket must agree with
+/// the directly summed one to this relative slack (pure round-off).
+constexpr double kConservationSlack = 1e-9;
+
+void check_fit(double fitted, double direct, double scale, const char* what) {
+  const double tol = kConservationSlack * std::max(1.0, std::abs(scale));
+  if (std::abs(fitted - direct) > tol)
+    throw std::logic_error(std::string("attribution: ") + what +
+                           " conservation fit disagrees with direct sum");
+}
+
+double overlap(double lo1, double hi1, double lo2, double hi2) {
+  const double lo = std::max(lo1, lo2);
+  const double hi = std::min(hi1, hi2);
+  return hi > lo ? hi - lo : 0.0;
+}
+
+/// Fixed-width "%.6f" (tables only; JSON uses json_double).
+std::string fixed6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+std::string pad_left(const std::string& s, std::size_t w) {
+  return s.size() >= w ? s : std::string(w - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t w) {
+  return s.size() >= w ? s : s + std::string(w - s.size(), ' ');
+}
+
+/// Human-oriented factor spelling for what-if names ("0.9", "1.25", "2").
+std::string factor_str(double f) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", f);
+  return buf;
+}
+
+const char* kind_name(WhatIf::Kind k) {
+  switch (k) {
+    case WhatIf::Kind::StageComputeScale:
+      return "stage_compute_scale";
+    case WhatIf::Kind::EdgeCommScale:
+      return "edge_comm_scale";
+    case WhatIf::Kind::AllCommScale:
+      return "all_comm_scale";
+    case WhatIf::Kind::Microbatches:
+      return "microbatches";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+AttributionReport attribute(const std::vector<CausalOp>& ops, int num_stages,
+                            int microbatches) {
+  AttributionReport rep;
+  rep.num_stages = std::max(0, num_stages);
+  rep.microbatches = microbatches;
+  rep.path = critical_path(ops, rep.num_stages);
+  const double T = rep.path.makespan;
+  rep.step_time = T;
+  rep.anchor_stage = rep.path.terminal_stage;
+
+  // Per-stage ops in time order (stages never overlap themselves).
+  std::vector<std::vector<const CausalOp*>> by_stage(
+      static_cast<std::size_t>(rep.num_stages));
+  for (const CausalOp& o : ops)
+    if (o.stage >= 0 && o.stage < rep.num_stages)
+      by_stage[static_cast<std::size_t>(o.stage)].push_back(&o);
+  for (auto& v : by_stage)
+    std::sort(v.begin(), v.end(), [](const CausalOp* a, const CausalOp* b) {
+      if (a->start != b->start) return a->start < b->start;
+      if (a->end != b->end) return a->end < b->end;
+      if (a->backward != b->backward) return !a->backward;
+      return a->microbatch < b->microbatch;
+    });
+
+  rep.stages.resize(static_cast<std::size_t>(rep.num_stages));
+  for (int s = 0; s < rep.num_stages; ++s) {
+    ExactSum compute, comm, queue, bubble_direct;
+    double prev_end = 0;
+    for (const CausalOp* o : by_stage[static_cast<std::size_t>(s)]) {
+      if (o->start > prev_end) {
+        // Classify the gap by the constraint that released `o`.
+        const bool data_binds =
+            o->dep_stage >= 0 && o->data_ready >= o->resource_ready;
+        double wire_seg = 0, queue_seg = 0;
+        if (data_binds && o->comm_delay > 0) {
+          // The data edge occupied [data_ready - comm_delay, data_ready);
+          // the uncontended nominal rides at the end (the transfer drains
+          // at full rate last), any excess ahead of it is queuing.
+          const double d0 = o->data_ready - o->comm_delay;
+          const double nominal =
+              o->comm_nominal < 0
+                  ? o->comm_delay
+                  : std::min(o->comm_nominal, o->comm_delay);
+          const double wire_lo = o->data_ready - nominal;
+          wire_seg = overlap(wire_lo, o->data_ready, prev_end, o->start);
+          queue_seg = overlap(d0, wire_lo, prev_end, o->start);
+        }
+        comm.add(wire_seg);
+        queue.add(queue_seg);
+        bubble_direct.add((o->start - prev_end) - wire_seg - queue_seg);
+      }
+      compute.add(o->end - o->start);
+      prev_end = std::max(prev_end, o->end);
+    }
+    if (T > prev_end) bubble_direct.add(T - prev_end);
+
+    StageBuckets& b = rep.stages[static_cast<std::size_t>(s)];
+    b.compute = compute.value();
+    b.comm = comm.value();
+    b.queue = queue.value();
+    b.total = T;
+    // Fit the bubble so the canonical fold reproduces T bit-exactly, then
+    // cross-check it against the directly enumerated gaps.
+    const double partial = (b.compute + b.comm) + b.queue;
+    b.bubble = fit_residual(T, partial);
+    check_fit(b.bubble, bubble_direct.value(), T, "stage bubble");
+  }
+
+  if (rep.anchor_stage >= 0 && rep.anchor_stage < rep.num_stages)
+    rep.step = rep.stages[static_cast<std::size_t>(rep.anchor_stage)];
+  else
+    rep.step.total = rep.step.bubble = T;
+
+  // Straggler ranking: most compute-loaded stage first.
+  rep.stragglers.resize(static_cast<std::size_t>(rep.num_stages));
+  for (int s = 0; s < rep.num_stages; ++s)
+    rep.stragglers[static_cast<std::size_t>(s)] = s;
+  std::sort(rep.stragglers.begin(), rep.stragglers.end(), [&](int a, int b) {
+    const double ca = rep.stages[static_cast<std::size_t>(a)].compute;
+    const double cb = rep.stages[static_cast<std::size_t>(b)].compute;
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  return rep;
+}
+
+void attach_links(AttributionReport& rep,
+                  const std::vector<FabricTransfer>& transfers,
+                  const std::vector<std::string>& link_names,
+                  const std::vector<double>& link_busy_seconds,
+                  double horizon) {
+  struct Acc {
+    std::int64_t transfers = 0;
+    ExactSum bytes, wire, active, queue_direct;
+  };
+  std::map<int, Acc> by_link;  // ordered by link id => deterministic
+  for (const FabricTransfer& t : transfers) {
+    if (t.bottleneck_link < 0) continue;
+    Acc& a = by_link[t.bottleneck_link];
+    const double flow = t.finish - t.activate;
+    const double nominal = std::min(std::max(0.0, t.nominal), flow);
+    ++a.transfers;
+    a.bytes.add(t.bytes);
+    a.wire.add(nominal);
+    a.active.add(flow);
+    a.queue_direct.add(flow - nominal);
+  }
+  rep.links.clear();
+  for (const auto& [l, a] : by_link) {
+    LinkAttribution la;
+    la.name = l >= 0 && static_cast<std::size_t>(l) < link_names.size()
+                  ? link_names[static_cast<std::size_t>(l)]
+                  : "link:" + std::to_string(l);
+    la.transfers = a.transfers;
+    la.bytes = a.bytes.value();
+    la.wire = a.wire.value();
+    la.active = a.active.value();
+    la.queue = fit_residual(la.active, la.wire);  // wire + queue == active
+    check_fit(la.queue, a.queue_direct.value(), la.active, "link queue");
+    la.busy = l >= 0 && static_cast<std::size_t>(l) < link_busy_seconds.size()
+                  ? link_busy_seconds[static_cast<std::size_t>(l)]
+                  : 0.0;
+    rep.links.push_back(std::move(la));
+  }
+  rep.bottleneck_links.resize(rep.links.size());
+  for (std::size_t i = 0; i < rep.links.size(); ++i)
+    rep.bottleneck_links[i] = static_cast<int>(i);
+  std::sort(rep.bottleneck_links.begin(), rep.bottleneck_links.end(),
+            [&](int a, int b) {
+              const LinkAttribution& la = rep.links[static_cast<std::size_t>(a)];
+              const LinkAttribution& lb = rep.links[static_cast<std::size_t>(b)];
+              if (la.queue != lb.queue) return la.queue > lb.queue;
+              return la.name < lb.name;
+            });
+  rep.fabric_horizon = horizon;
+}
+
+std::string what_if_name(const WhatIf& w) {
+  switch (w.kind) {
+    case WhatIf::Kind::StageComputeScale:
+      return "stage" + std::to_string(w.index) + ".compute.x" +
+             factor_str(w.factor);
+    case WhatIf::Kind::EdgeCommScale:
+      return "edge" + std::to_string(w.index) + ".comm.x" +
+             factor_str(w.factor);
+    case WhatIf::Kind::AllCommScale:
+      return "comm.x" + factor_str(w.factor);
+    case WhatIf::Kind::Microbatches:
+      return "microbatches." + std::to_string(w.microbatches);
+  }
+  return "unknown";
+}
+
+double estimate_what_if(const AttributionReport& rep, const WhatIf& w) {
+  const double T = rep.step_time;
+  switch (w.kind) {
+    case WhatIf::Kind::StageComputeScale:
+      if (w.index < 0 ||
+          static_cast<std::size_t>(w.index) >= rep.path.compute_by_stage.size())
+        return T;
+      return T + (w.factor - 1.0) *
+                     rep.path.compute_by_stage[static_cast<std::size_t>(w.index)];
+    case WhatIf::Kind::EdgeCommScale:
+      if (w.index < 0 ||
+          static_cast<std::size_t>(w.index) >= rep.path.comm_by_edge.size())
+        return T;
+      return T + (w.factor - 1.0) *
+                     rep.path.comm_by_edge[static_cast<std::size_t>(w.index)];
+    case WhatIf::Kind::AllCommScale:
+      return T + (w.factor - 1.0) * rep.path.comm_total;
+    case WhatIf::Kind::Microbatches: {
+      if (rep.microbatches <= 0 || w.microbatches <= 0) return T;
+      // Steady-state cost of one more (or one fewer) microbatch: the
+      // busiest stage's per-microbatch work.
+      double rate = 0;
+      for (const StageBuckets& b : rep.stages)
+        rate = std::max(rate, b.compute / rep.microbatches);
+      return T + (w.microbatches - rep.microbatches) * rate;
+    }
+  }
+  return T;
+}
+
+std::vector<WhatIf> default_what_ifs(const AttributionReport& rep) {
+  std::vector<WhatIf> v;
+  const int anchor =
+      rep.anchor_stage >= 0 && rep.anchor_stage < rep.num_stages
+          ? rep.anchor_stage
+          : 0;
+  v.push_back({WhatIf::Kind::StageComputeScale, anchor, 0.75, 0});
+  v.push_back({WhatIf::Kind::StageComputeScale, anchor, 1.25, 0});
+  const int straggler = rep.stragglers.empty() ? anchor : rep.stragglers[0];
+  v.push_back({WhatIf::Kind::StageComputeScale, straggler, 0.9, 0});
+  if (rep.num_stages > 1) v.push_back({WhatIf::Kind::EdgeCommScale, 0, 0.5, 0});
+  v.push_back({WhatIf::Kind::AllCommScale, -1, 0.5, 0});
+  v.push_back({WhatIf::Kind::AllCommScale, -1, 2.0, 0});
+  if (rep.microbatches > 0) {
+    v.push_back({WhatIf::Kind::Microbatches, -1, 1.0, rep.microbatches * 2});
+    if (rep.microbatches > 1)
+      v.push_back({WhatIf::Kind::Microbatches, -1, 1.0, rep.microbatches / 2});
+  }
+  return v;
+}
+
+namespace {
+
+void buckets_json(std::ostringstream& os, const StageBuckets& b) {
+  os << "{\"compute\": " << json_double(b.compute)
+     << ", \"comm\": " << json_double(b.comm)
+     << ", \"queue\": " << json_double(b.queue)
+     << ", \"bubble\": " << json_double(b.bubble)
+     << ", \"total\": " << json_double(b.total) << "}";
+}
+
+}  // namespace
+
+std::string report_json(const AttributionReport& rep) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"rannc.explain.v1\",\n  \"subject\": "
+     << json_string(rep.subject) << ",\n  \"num_stages\": " << rep.num_stages
+     << ",\n  \"microbatches\": " << rep.microbatches
+     << ",\n  \"step_time\": " << json_double(rep.step_time)
+     << ",\n  \"anchor_stage\": " << rep.anchor_stage << ",\n  \"step\": ";
+  buckets_json(os, rep.step);
+  os << ",\n  \"stages\": [";
+  for (std::size_t s = 0; s < rep.stages.size(); ++s) {
+    os << (s ? "," : "") << "\n    {\"stage\": " << s << ", \"buckets\": ";
+    buckets_json(os, rep.stages[s]);
+    os << "}";
+  }
+  os << (rep.stages.empty() ? "" : "\n  ") << "],\n  \"critical_path\": {\n"
+     << "    \"makespan\": " << json_double(rep.path.makespan)
+     << ",\n    \"terminal_stage\": " << rep.path.terminal_stage
+     << ",\n    \"compute_total\": " << json_double(rep.path.compute_total)
+     << ",\n    \"comm_total\": " << json_double(rep.path.comm_total)
+     << ",\n    \"compute_by_stage\": [";
+  for (std::size_t s = 0; s < rep.path.compute_by_stage.size(); ++s)
+    os << (s ? ", " : "") << json_double(rep.path.compute_by_stage[s]);
+  os << "],\n    \"comm_by_edge\": [";
+  for (std::size_t e = 0; e < rep.path.comm_by_edge.size(); ++e)
+    os << (e ? ", " : "") << json_double(rep.path.comm_by_edge[e]);
+  os << "],\n    \"segments\": [";
+  for (std::size_t i = 0; i < rep.path.segments.size(); ++i) {
+    const PathSegment& sg = rep.path.segments[i];
+    os << (i ? "," : "") << "\n      {\"kind\": \""
+       << (sg.kind == PathSegment::Kind::Compute ? "compute" : "comm")
+       << "\", \"stage\": " << sg.stage
+       << ", \"microbatch\": " << sg.microbatch << ", \"backward\": "
+       << (sg.backward ? "true" : "false");
+    if (sg.kind == PathSegment::Kind::Comm)
+      os << ", \"from_stage\": " << sg.from_stage;
+    os << ", \"start\": " << json_double(sg.start)
+       << ", \"end\": " << json_double(sg.end) << "}";
+  }
+  os << (rep.path.segments.empty() ? "" : "\n    ")
+     << "]\n  },\n  \"stragglers\": [";
+  for (std::size_t i = 0; i < rep.stragglers.size(); ++i)
+    os << (i ? ", " : "") << rep.stragglers[i];
+  os << "],\n  \"links\": [";
+  for (std::size_t i = 0; i < rep.links.size(); ++i) {
+    const LinkAttribution& l = rep.links[i];
+    os << (i ? "," : "") << "\n    {\"name\": " << json_string(l.name)
+       << ", \"transfers\": " << l.transfers
+       << ", \"bytes\": " << json_double(l.bytes)
+       << ", \"wire\": " << json_double(l.wire)
+       << ", \"queue\": " << json_double(l.queue)
+       << ", \"active\": " << json_double(l.active)
+       << ", \"busy\": " << json_double(l.busy) << "}";
+  }
+  os << (rep.links.empty() ? "" : "\n  ") << "],\n  \"bottleneck_links\": [";
+  for (std::size_t i = 0; i < rep.bottleneck_links.size(); ++i)
+    os << (i ? ", " : "")
+       << json_string(
+              rep.links[static_cast<std::size_t>(rep.bottleneck_links[i])]
+                  .name);
+  os << "],\n  \"fabric_horizon\": " << json_double(rep.fabric_horizon)
+     << ",\n  \"what_if\": [";
+  for (std::size_t i = 0; i < rep.what_ifs.size(); ++i) {
+    const WhatIfResult& w = rep.what_ifs[i];
+    os << (i ? "," : "") << "\n    {\"name\": " << json_string(w.name)
+       << ", \"kind\": \"" << kind_name(w.spec.kind) << "\""
+       << ", \"index\": " << w.spec.index
+       << ", \"factor\": " << json_double(w.spec.factor)
+       << ", \"microbatches\": " << w.spec.microbatches
+       << ", \"baseline\": " << json_double(w.baseline)
+       << ", \"estimate\": " << json_double(w.estimate);
+    if (w.ground_truth >= 0) {
+      const double denom = std::max(std::abs(w.ground_truth), 1e-300);
+      os << ", \"ground_truth\": " << json_double(w.ground_truth)
+         << ", \"rel_error\": "
+         << json_double(std::abs(w.estimate - w.ground_truth) / denom);
+    } else {
+      os << ", \"ground_truth\": null, \"rel_error\": null";
+    }
+    os << "}";
+  }
+  os << (rep.what_ifs.empty() ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+std::string report_table(const AttributionReport& rep) {
+  std::ostringstream os;
+  os << "== causal attribution";
+  if (!rep.subject.empty()) os << ": " << rep.subject;
+  os << " ==\n";
+  os << "step_time " << fixed6(rep.step_time) << " s   stages "
+     << rep.num_stages << "   microbatches " << rep.microbatches
+     << "   anchor stage " << rep.anchor_stage << "\n\n";
+  os << "stage " << pad_left("compute", 12) << pad_left("comm", 12)
+     << pad_left("queue", 12) << pad_left("bubble", 12)
+     << pad_left("busy%", 8) << "\n";
+  for (std::size_t s = 0; s < rep.stages.size(); ++s) {
+    const StageBuckets& b = rep.stages[s];
+    const double busy_pct =
+        b.total > 0 ? 100.0 * (b.compute + b.comm + b.queue) / b.total : 0.0;
+    char pct[32];
+    std::snprintf(pct, sizeof pct, "%.1f", busy_pct);
+    os << pad_left(std::to_string(s), 5) << pad_left(fixed6(b.compute), 12)
+       << pad_left(fixed6(b.comm), 12) << pad_left(fixed6(b.queue), 12)
+       << pad_left(fixed6(b.bubble), 12) << pad_left(pct, 8) << "\n";
+  }
+  os << "\ncritical path: compute " << fixed6(rep.path.compute_total)
+     << " s + comm " << fixed6(rep.path.comm_total) << " s ("
+     << rep.path.segments.size() << " segments, terminal stage "
+     << rep.path.terminal_stage << ")\n";
+  os << "  compute on path by stage:";
+  for (std::size_t s = 0; s < rep.path.compute_by_stage.size(); ++s)
+    os << "  s" << s << " " << fixed6(rep.path.compute_by_stage[s]);
+  os << "\n";
+  if (!rep.path.comm_by_edge.empty()) {
+    os << "  comm on path by edge:";
+    for (std::size_t e = 0; e < rep.path.comm_by_edge.size(); ++e)
+      os << "  e" << e << " " << fixed6(rep.path.comm_by_edge[e]);
+    os << "\n";
+  }
+  os << "  stragglers (by compute):";
+  for (int s : rep.stragglers) os << " s" << s;
+  os << "\n";
+  if (!rep.links.empty()) {
+    os << "\nlinks (grouped by bottleneck link of each transfer path):\n";
+    os << "  " << pad_right("name", 14) << pad_left("transfers", 10)
+       << pad_left("bytes", 14) << pad_left("wire s", 12)
+       << pad_left("queue s", 12) << pad_left("busy s", 12) << "\n";
+    for (int idx : rep.bottleneck_links) {
+      const LinkAttribution& l = rep.links[static_cast<std::size_t>(idx)];
+      char bytes[32];
+      std::snprintf(bytes, sizeof bytes, "%.0f", l.bytes);
+      os << "  " << pad_right(l.name, 14)
+         << pad_left(std::to_string(l.transfers), 10)
+         << pad_left(bytes, 14) << pad_left(fixed6(l.wire), 12)
+         << pad_left(fixed6(l.queue), 12) << pad_left(fixed6(l.busy), 12)
+         << "\n";
+    }
+    os << "  fabric horizon " << fixed6(rep.fabric_horizon) << " s\n";
+  }
+  if (!rep.what_ifs.empty()) {
+    os << "\nwhat-if (estimate vs ground-truth re-simulation):\n";
+    os << "  " << pad_right("name", 28) << pad_left("estimate", 12)
+       << pad_left("ground", 12) << pad_left("err%", 8) << "\n";
+    for (const WhatIfResult& w : rep.what_ifs) {
+      os << "  " << pad_right(w.name, 28) << pad_left(fixed6(w.estimate), 12);
+      if (w.ground_truth >= 0) {
+        const double denom = std::max(std::abs(w.ground_truth), 1e-300);
+        char err[32];
+        std::snprintf(err, sizeof err, "%.2f",
+                      100.0 * std::abs(w.estimate - w.ground_truth) / denom);
+        os << pad_left(fixed6(w.ground_truth), 12) << pad_left(err, 8);
+      } else {
+        os << pad_left("-", 12) << pad_left("-", 8);
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace rannc

@@ -1,0 +1,141 @@
+#include "obs/critpath.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace rannc {
+namespace obs {
+
+namespace {
+
+/// Deterministic ordering used for every tie-break: stage asc, forward
+/// before backward, microbatch asc.
+bool op_before(const CausalOp& a, const CausalOp& b) {
+  if (a.stage != b.stage) return a.stage < b.stage;
+  if (a.backward != b.backward) return !a.backward;
+  return a.microbatch < b.microbatch;
+}
+
+}  // namespace
+
+double fit_residual(double total, double partial) {
+  if (!std::isfinite(total) || !std::isfinite(partial))
+    throw std::logic_error("fit_residual: non-finite input");
+  double r = total - partial;
+  for (int i = 0; i < 64; ++i) {
+    const double got = partial + r;
+    if (got == total) return r;
+    r = std::nextafter(r, got < total
+                              ? std::numeric_limits<double>::infinity()
+                              : -std::numeric_limits<double>::infinity());
+  }
+  throw std::logic_error("fit_residual: no representable residual");
+}
+
+CriticalPath critical_path(const std::vector<CausalOp>& ops, int num_stages) {
+  CriticalPath path;
+  if (num_stages < 0) num_stages = 0;
+  path.compute_by_stage.assign(static_cast<std::size_t>(num_stages), 0.0);
+  path.comm_by_edge.assign(
+      static_cast<std::size_t>(std::max(0, num_stages - 1)), 0.0);
+  if (ops.empty()) return path;
+
+  // Terminal op: latest end; ties resolved by the canonical op order.
+  std::size_t cur = 0;
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    if (ops[i].end > ops[cur].end ||
+        (ops[i].end == ops[cur].end && op_before(ops[i], ops[cur])))
+      cur = i;
+  }
+  path.makespan = ops[cur].end;
+  path.terminal_stage = ops[cur].stage;
+
+  // Backward walk. Each iteration either stops or moves strictly earlier
+  // in time, but guard against malformed inputs anyway.
+  std::vector<PathSegment> rev;
+  for (std::size_t guard = 0; guard <= ops.size(); ++guard) {
+    const CausalOp& o = ops[cur];
+    PathSegment seg;
+    seg.kind = PathSegment::Kind::Compute;
+    seg.stage = o.stage;
+    seg.microbatch = o.microbatch;
+    seg.backward = o.backward;
+    seg.start = o.start;
+    seg.end = o.end;
+    rev.push_back(seg);
+
+    // Which constraint released this op? Prefer the data edge on ties.
+    const bool data_binds = o.dep_stage >= 0 && o.data_ready >= o.resource_ready;
+    if (data_binds) {
+      // Find the producing op.
+      std::size_t prod = ops.size();
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const CausalOp& p = ops[i];
+        if (p.stage == o.dep_stage && p.microbatch == o.dep_microbatch &&
+            p.backward == o.dep_backward) {
+          prod = i;
+          break;
+        }
+      }
+      if (prod == ops.size()) break;  // dangling edge: path starts here
+      if (o.comm_delay > 0) {
+        PathSegment cs;
+        cs.kind = PathSegment::Kind::Comm;
+        cs.stage = o.stage;
+        cs.microbatch = o.microbatch;
+        cs.backward = o.backward;
+        cs.from_stage = o.dep_stage;
+        cs.start = o.data_ready - o.comm_delay;
+        cs.end = o.data_ready;
+        rev.push_back(cs);
+      }
+      cur = prod;
+      continue;
+    }
+    if (o.resource_ready <= 0) break;  // stage idle since t=0: path start
+    // Resource edge: the op on the same stage that ended exactly when this
+    // one became schedulable (deterministic pick on exact-end ties).
+    std::size_t prev = ops.size();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const CausalOp& p = ops[i];
+      if (i == cur || p.stage != o.stage || p.end != o.resource_ready)
+        continue;
+      if (prev == ops.size() || op_before(p, ops[prev])) prev = i;
+    }
+    if (prev == ops.size()) break;  // no producer recorded: path starts here
+    cur = prev;
+  }
+
+  std::reverse(rev.begin(), rev.end());
+  path.segments = std::move(rev);
+
+  // Exact per-stage / per-edge sums, accumulated in path (time) order.
+  std::vector<ExactSum> per_stage(static_cast<std::size_t>(num_stages));
+  std::vector<ExactSum> per_edge(path.comm_by_edge.size());
+  ExactSum compute_total;
+  ExactSum comm_total;
+  for (const PathSegment& s : path.segments) {
+    const double d = s.end - s.start;
+    if (s.kind == PathSegment::Kind::Compute) {
+      compute_total.add(d);
+      if (s.stage >= 0 && s.stage < num_stages)
+        per_stage[static_cast<std::size_t>(s.stage)].add(d);
+    } else {
+      comm_total.add(d);
+      const int e = std::min(s.stage, s.from_stage);
+      if (e >= 0 && static_cast<std::size_t>(e) < per_edge.size())
+        per_edge[static_cast<std::size_t>(e)].add(d);
+    }
+  }
+  for (std::size_t s = 0; s < per_stage.size(); ++s)
+    path.compute_by_stage[s] = per_stage[s].value();
+  for (std::size_t e = 0; e < per_edge.size(); ++e)
+    path.comm_by_edge[e] = per_edge[e].value();
+  path.compute_total = compute_total.value();
+  path.comm_total = comm_total.value();
+  return path;
+}
+
+}  // namespace obs
+}  // namespace rannc

@@ -62,6 +62,29 @@ Histogram::Snapshot Histogram::snapshot() const {
   return s;
 }
 
+double Histogram::Snapshot::quantile(double q) const {
+  if (count <= 0 || buckets.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const auto target = static_cast<std::int64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count))));
+  std::int64_t prev_cum = 0;
+  for (const auto& [upper, cum] : buckets) {
+    if (cum < target) {
+      prev_cum = cum;
+      continue;
+    }
+    if (!std::isfinite(upper)) return max;  // overflow bucket
+    // Exponential buckets: lower bound is half the upper bound (the
+    // underflow bucket's lower bound is 0).
+    const double lower = upper == std::ldexp(1.0, kMinExp) ? 0.0 : upper / 2;
+    const auto in_bucket = static_cast<double>(cum - prev_cum);
+    const double frac = static_cast<double>(target - prev_cum) / in_bucket;
+    const double v = lower + frac * (upper - lower);
+    return std::min(max, std::max(min, v));
+  }
+  return max;
+}
+
 void Histogram::reset() {
   std::lock_guard<std::mutex> lk(mu_);
   count_ = 0;
@@ -119,7 +142,10 @@ std::string MetricsRegistry::to_json() const {
     os << (i ? "," : "") << "\n    " << json_string(hs[i].first)
        << ": {\"count\": " << s.count << ", \"sum\": " << json_double(s.sum)
        << ", \"min\": " << json_double(s.min)
-       << ", \"max\": " << json_double(s.max) << ", \"buckets\": [";
+       << ", \"max\": " << json_double(s.max)
+       << ", \"p50\": " << json_double(s.quantile(0.50))
+       << ", \"p99\": " << json_double(s.quantile(0.99))
+       << ", \"buckets\": [";
     for (std::size_t b = 0; b < s.buckets.size(); ++b) {
       const bool inf = !std::isfinite(s.buckets[b].first);
       os << (b ? "," : "") << "{\"le\": "

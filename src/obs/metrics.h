@@ -66,6 +66,12 @@ class Histogram {
     /// (upper bound, cumulative count <= bound); only non-empty buckets,
     /// ascending; the last entry's bound is +inf (serialized as "inf").
     std::vector<std::pair<double, std::int64_t>> buckets;
+
+    /// Quantile estimate by linear interpolation inside the exponential
+    /// bucket holding rank ceil(q * count), clamped to [min, max]
+    /// (Prometheus-style histogram_quantile). 0 when the histogram is
+    /// empty; deterministic for a given snapshot.
+    [[nodiscard]] double quantile(double q) const;
   };
   [[nodiscard]] Snapshot snapshot() const;
   void reset();

@@ -21,15 +21,26 @@ ScheduleResult simulate_gpipe(const std::vector<StageTimes>& stages,
 
   for (int s = 0; s < S; ++s) {
     for (int j = 0; j < MB; ++j) {
-      double ready = 0;
-      if (j > 0) ready = fend[static_cast<std::size_t>(s)][static_cast<std::size_t>(j - 1)];
-      if (s > 0)
-        ready = std::max(ready, fend[static_cast<std::size_t>(s - 1)][static_cast<std::size_t>(j)] +
-                                    stages[static_cast<std::size_t>(s - 1)].comm_next);
-      const double start = ready;
-      const double end = start + stages[static_cast<std::size_t>(s)].t_f;
-      fend[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)] = end;
-      res.intervals.push_back({s, j, false, start, end});
+      ScheduleInterval iv;
+      iv.stage = s;
+      iv.microbatch = j;
+      if (j > 0)
+        iv.resource_ready =
+            fend[static_cast<std::size_t>(s)][static_cast<std::size_t>(j - 1)];
+      double ready = iv.resource_ready;
+      if (s > 0) {
+        iv.dep_stage = s - 1;
+        iv.dep_microbatch = j;
+        iv.comm_delay = stages[static_cast<std::size_t>(s - 1)].comm_next;
+        iv.data_ready =
+            fend[static_cast<std::size_t>(s - 1)][static_cast<std::size_t>(j)] +
+            iv.comm_delay;
+        ready = std::max(ready, iv.data_ready);
+      }
+      iv.start = ready;
+      iv.end = ready + stages[static_cast<std::size_t>(s)].t_f;
+      fend[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)] = iv.end;
+      res.intervals.push_back(iv);
     }
   }
 
@@ -39,15 +50,27 @@ ScheduleResult simulate_gpipe(const std::vector<StageTimes>& stages,
   for (int s = S - 1; s >= 0; --s) {
     double stage_free = fend[static_cast<std::size_t>(s)][static_cast<std::size_t>(MB - 1)];
     for (int j = MB - 1; j >= 0; --j) {
+      ScheduleInterval iv;
+      iv.stage = s;
+      iv.microbatch = j;
+      iv.backward = true;
+      iv.resource_ready = stage_free;
       double ready = stage_free;
-      if (s < S - 1)
-        ready = std::max(ready, bend[static_cast<std::size_t>(s + 1)][static_cast<std::size_t>(j)] +
-                                    stages[static_cast<std::size_t>(s)].comm_next);
-      const double start = ready;
-      const double end = start + stages[static_cast<std::size_t>(s)].t_b;
-      bend[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)] = end;
-      stage_free = end;
-      res.intervals.push_back({s, j, true, start, end});
+      if (s < S - 1) {
+        iv.dep_stage = s + 1;
+        iv.dep_microbatch = j;
+        iv.dep_backward = true;
+        iv.comm_delay = stages[static_cast<std::size_t>(s)].comm_next;
+        iv.data_ready =
+            bend[static_cast<std::size_t>(s + 1)][static_cast<std::size_t>(j)] +
+            iv.comm_delay;
+        ready = std::max(ready, iv.data_ready);
+      }
+      iv.start = ready;
+      iv.end = ready + stages[static_cast<std::size_t>(s)].t_b;
+      bend[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)] = iv.end;
+      stage_free = iv.end;
+      res.intervals.push_back(iv);
     }
   }
 
@@ -127,19 +150,28 @@ ScheduleResult simulate_1f1b_sync(const std::vector<StageTimes>& stages,
       auto& cur = cursor[static_cast<std::size_t>(s)];
       if (cur >= order[static_cast<std::size_t>(s)].size()) continue;
       const Op op = order[static_cast<std::size_t>(s)][cur];
-      double ready = stage_free[static_cast<std::size_t>(s)];
+      ScheduleInterval iv;
+      iv.stage = s;
+      iv.microbatch = op.microbatch;
+      iv.backward = op.backward;
+      iv.resource_ready = stage_free[static_cast<std::size_t>(s)];
+      double ready = iv.resource_ready;
       if (!op.backward) {
         if (s > 0) {
           const double dep =
               fend[static_cast<std::size_t>(s - 1)][static_cast<std::size_t>(op.microbatch)];
           if (dep == kUnset) continue;  // upstream forward not done yet
-          ready = std::max(ready,
-                           dep + stages[static_cast<std::size_t>(s - 1)].comm_next);
+          iv.dep_stage = s - 1;
+          iv.dep_microbatch = op.microbatch;
+          iv.comm_delay = stages[static_cast<std::size_t>(s - 1)].comm_next;
+          iv.data_ready = dep + iv.comm_delay;
+          ready = std::max(ready, iv.data_ready);
         }
-        const double end = ready + stages[static_cast<std::size_t>(s)].t_f;
-        fend[static_cast<std::size_t>(s)][static_cast<std::size_t>(op.microbatch)] = end;
-        res.intervals.push_back({s, op.microbatch, false, ready, end});
-        stage_free[static_cast<std::size_t>(s)] = end;
+        iv.start = ready;
+        iv.end = ready + stages[static_cast<std::size_t>(s)].t_f;
+        fend[static_cast<std::size_t>(s)][static_cast<std::size_t>(op.microbatch)] = iv.end;
+        res.intervals.push_back(iv);
+        stage_free[static_cast<std::size_t>(s)] = iv.end;
       } else {
         if (fend[static_cast<std::size_t>(s)][static_cast<std::size_t>(op.microbatch)] ==
             kUnset)
@@ -148,13 +180,18 @@ ScheduleResult simulate_1f1b_sync(const std::vector<StageTimes>& stages,
           const double dep =
               bend[static_cast<std::size_t>(s + 1)][static_cast<std::size_t>(op.microbatch)];
           if (dep == kUnset) continue;  // downstream backward not done yet
-          ready = std::max(ready,
-                           dep + stages[static_cast<std::size_t>(s)].comm_next);
+          iv.dep_stage = s + 1;
+          iv.dep_microbatch = op.microbatch;
+          iv.dep_backward = true;
+          iv.comm_delay = stages[static_cast<std::size_t>(s)].comm_next;
+          iv.data_ready = dep + iv.comm_delay;
+          ready = std::max(ready, iv.data_ready);
         }
-        const double end = ready + stages[static_cast<std::size_t>(s)].t_b;
-        bend[static_cast<std::size_t>(s)][static_cast<std::size_t>(op.microbatch)] = end;
-        res.intervals.push_back({s, op.microbatch, true, ready, end});
-        stage_free[static_cast<std::size_t>(s)] = end;
+        iv.start = ready;
+        iv.end = ready + stages[static_cast<std::size_t>(s)].t_b;
+        bend[static_cast<std::size_t>(s)][static_cast<std::size_t>(op.microbatch)] = iv.end;
+        res.intervals.push_back(iv);
+        stage_free[static_cast<std::size_t>(s)] = iv.end;
       }
       ++cur;
       progress = true;
@@ -185,10 +222,62 @@ std::vector<obs::TimelineSpan> schedule_spans(const ScheduleResult& res) {
     sp.end = iv.end;
     sp.args = "\"stage\":" + std::to_string(iv.stage) +
               ",\"microbatch\":" + std::to_string(iv.microbatch) +
-              ",\"backward\":" + (iv.backward ? "true" : "false");
+              ",\"backward\":" + (iv.backward ? "true" : "false") +
+              ",\"resource_ready\":" + obs::json_double(iv.resource_ready);
+    if (iv.dep_stage >= 0) {
+      sp.args += ",\"data_ready\":" + obs::json_double(iv.data_ready) +
+                 ",\"comm_delay\":" + obs::json_double(iv.comm_delay) +
+                 ",\"dep_stage\":" + std::to_string(iv.dep_stage) +
+                 ",\"dep_microbatch\":" + std::to_string(iv.dep_microbatch) +
+                 ",\"dep_backward\":" + (iv.dep_backward ? "true" : "false");
+    }
     spans.push_back(std::move(sp));
   }
   return spans;
+}
+
+std::vector<obs::CausalOp> causal_ops(const ScheduleResult& res) {
+  std::vector<obs::CausalOp> ops;
+  ops.reserve(res.intervals.size());
+  for (const ScheduleInterval& iv : res.intervals) {
+    obs::CausalOp op;
+    op.stage = iv.stage;
+    op.microbatch = iv.microbatch;
+    op.backward = iv.backward;
+    op.start = iv.start;
+    op.end = iv.end;
+    op.resource_ready = iv.resource_ready;
+    op.data_ready = iv.data_ready;
+    op.comm_delay = iv.comm_delay;
+    op.dep_stage = iv.dep_stage;
+    op.dep_microbatch = iv.dep_microbatch;
+    op.dep_backward = iv.dep_backward;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+void apply_what_if(const obs::WhatIf& w, std::vector<StageTimes>& stages,
+                   int& microbatches) {
+  const int S = static_cast<int>(stages.size());
+  switch (w.kind) {
+    case obs::WhatIf::Kind::StageComputeScale:
+      if (w.index >= 0 && w.index < S) {
+        stages[static_cast<std::size_t>(w.index)].t_f *= w.factor;
+        stages[static_cast<std::size_t>(w.index)].t_b *= w.factor;
+      }
+      break;
+    case obs::WhatIf::Kind::EdgeCommScale:
+      if (w.index >= 0 && w.index < S)
+        stages[static_cast<std::size_t>(w.index)].comm_next *= w.factor;
+      break;
+    case obs::WhatIf::Kind::AllCommScale:
+      for (StageTimes& st : stages) st.comm_next *= w.factor;
+      break;
+    case obs::WhatIf::Kind::Microbatches:
+      if (w.microbatches > 0) microbatches = w.microbatches;
+      break;
+  }
 }
 
 std::string render_gantt(const ScheduleResult& res, int num_stages,

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/attribution.h"
 #include "obs/trace.h"
 
 namespace rannc {
@@ -22,12 +23,26 @@ struct StageTimes {
 };
 
 /// One box in the schedule: stage `stage` processes microbatch `microbatch`.
+/// The trailing causal-edge annotations record the two constraints that
+/// could have released the op — the stage becoming free and the
+/// cross-stage data dependency arriving — which is what the attribution
+/// engine in `src/obs` walks to recover the exact critical path.
 struct ScheduleInterval {
   int stage = 0;
   int microbatch = 0;
   bool backward = false;
   double start = 0;
   double end = 0;
+  /// When this stage finished its previous op (0 = idle since t=0).
+  double resource_ready = 0;
+  /// Producer end + comm_delay; meaningful only when dep_stage >= 0.
+  double data_ready = 0;
+  /// Analytic transfer delay on the data edge.
+  double comm_delay = 0;
+  /// Producing op of the cross-stage data edge; dep_stage < 0 = none.
+  int dep_stage = -1;
+  int dep_microbatch = -1;
+  bool dep_backward = false;
 };
 
 struct ScheduleResult {
@@ -67,8 +82,22 @@ ScheduleResult simulate_1f1b_sync(const std::vector<StageTimes>& stages,
 
 /// Converts a schedule's intervals into generic timeline spans (track =
 /// stage, glyph F/B, virtual-time seconds) — the single interval walk
-/// shared by the ASCII Gantt renderer and the trace recorder.
+/// shared by the ASCII Gantt renderer and the trace recorder. Span args
+/// carry the causal-edge annotations (resource_ready / data_ready /
+/// dep_*), so the emitted trace is a self-contained causal DAG.
 std::vector<obs::TimelineSpan> schedule_spans(const ScheduleResult& res);
+
+/// Adapts a simulated schedule into the obs-level causal op records the
+/// critical-path and attribution engines consume (a field-for-field copy;
+/// the direction of the dependency keeps obs below pipeline).
+std::vector<obs::CausalOp> causal_ops(const ScheduleResult& res);
+
+/// Applies a what-if perturbation to the simulator inputs in place:
+/// scales a stage's compute times, one or all boundary transfer times, or
+/// swaps the microbatch count. Re-running the simulator afterwards gives
+/// the ground truth the first-order estimator is validated against.
+void apply_what_if(const obs::WhatIf& w, std::vector<StageTimes>& stages,
+                   int& microbatches);
 
 /// Renders intervals as an ASCII Gantt chart, one row per stage.
 std::string render_gantt(const ScheduleResult& res, int num_stages,

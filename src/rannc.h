@@ -26,6 +26,8 @@
 #pragma once
 
 // ---- observability ---------------------------------------------------------
+#include "obs/attribution.h"
+#include "obs/critpath.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"

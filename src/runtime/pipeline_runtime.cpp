@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/trainer.h"
 #include "util/arena.h"
@@ -436,6 +437,21 @@ float PipelineTrainer::step(const std::vector<TensorMap>& microbatches) {
           "to the last completed step");
     }
     std::rethrow_exception(error);
+  }
+  // Publish per-stage causal attribution inputs: cumulative compute/comm
+  // seconds and boundary bytes, keyed by stage index so rannc-explain and
+  // the bench sentinel can correlate measured runtime against the
+  // simulated schedule without parsing logs.
+  obs::metrics().counter("runtime.steps").add(1);
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const StageReport& rep = stages_[s].report;
+    const std::string prefix = "runtime.stage." + std::to_string(s);
+    obs::metrics().gauge(prefix + ".compute_s").set(rep.compute_seconds);
+    obs::metrics().gauge(prefix + ".comm_s").set(rep.comm_seconds);
+    obs::metrics().gauge(prefix + ".bytes_in")
+        .set(static_cast<double>(rep.bytes_in));
+    obs::metrics().gauge(prefix + ".bytes_out")
+        .set(static_cast<double>(rep.bytes_out));
   }
   return static_cast<float>(loss_sum / static_cast<double>(microbatches.size()));
 }

@@ -275,11 +275,23 @@ PlanServer::Stats PlanServer::stats() const {
 
 std::string PlanServer::stats_json() const {
   const Stats s = stats();
+  // Latency quantiles come from the process-global serve.* histograms: the
+  // registry is shared across servers in one process, but so is the serving
+  // work, and operators read the snapshot per process anyway.
+  const obs::Histogram::Snapshot hit =
+      obs::metrics().histogram("serve.hit_latency_us").snapshot();
+  const obs::Histogram::Snapshot miss =
+      obs::metrics().histogram("serve.miss_latency_us").snapshot();
   std::ostringstream os;
   os << "{\"hits\": " << s.hits << ", \"disk_hits\": " << s.disk_hits
      << ", \"misses\": " << s.misses << ", \"coalesced\": " << s.coalesced
      << ", \"searches\": " << s.searches << ", \"shed\": " << s.shed
-     << ", \"errors\": " << s.errors << "}";
+     << ", \"errors\": " << s.errors
+     << ", \"hit_latency_us\": {\"p50\": " << obs::json_double(hit.quantile(0.5))
+     << ", \"p99\": " << obs::json_double(hit.quantile(0.99))
+     << "}, \"miss_latency_us\": {\"p50\": "
+     << obs::json_double(miss.quantile(0.5))
+     << ", \"p99\": " << obs::json_double(miss.quantile(0.99)) << "}}";
   return os.str();
 }
 

@@ -25,18 +25,29 @@ std::atomic<ThreadPool*> g_kernel_pool{nullptr};
 struct KernelMetrics {
   obs::Counter& calls;
   obs::Counter& flops;
+  obs::Counter& bytes;
   obs::Histogram& flops_per_call;
   explicit KernelMetrics(const std::string& op)
       : calls(obs::metrics().counter("runtime.kernel." + op + ".calls")),
         flops(obs::metrics().counter("runtime.kernel." + op + ".flops")),
+        bytes(obs::metrics().counter("runtime.kernel." + op + ".bytes")),
         flops_per_call(
             obs::metrics().histogram("runtime.kernel." + op + ".flops_per_call")) {}
-  void record(double fl) {
+  /// `by` = operand + result bytes touched, so attribution can rank real
+  /// runtime ops by both arithmetic and memory traffic.
+  void record(double fl, double by) {
     calls.add(1);
     flops.add(static_cast<std::int64_t>(fl));
+    bytes.add(static_cast<std::int64_t>(by));
     flops_per_call.record(fl);
   }
 };
+
+/// Operand + result traffic of a call, in bytes.
+template <typename... Ts>
+double tensor_bytes(const Ts&... ts) {
+  return 4.0 * (static_cast<double>(ts.numel()) + ...);
+}
 
 constexpr double kInvSqrt2 = 0.70710678118654752440;
 constexpr double kInvSqrt2Pi = 0.39894228040143267794;
@@ -122,7 +133,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const bool shared_b = bb == 1;
 
   static KernelMetrics km("matmul");
-  km.record(2.0 * static_cast<double>(ba * m) * static_cast<double>(ka) * n);
+  km.record(2.0 * static_cast<double>(ba * m) * static_cast<double>(ka) * n,
+            tensor_bytes(a, b, out));
   if (!naive_kernels()) {
     detail::blocked_matmul(A, B, C, ba, m, ka, n, shared_b, kernel_pool());
     return out;
@@ -163,7 +175,8 @@ Tensor matmul_grad_a(const Tensor& g, const Tensor& b) {
   const bool shared_b = bb == 1;
 
   static KernelMetrics km("matmul_grad_a");
-  km.record(2.0 * static_cast<double>(bg * m) * static_cast<double>(n) * k);
+  km.record(2.0 * static_cast<double>(bg * m) * static_cast<double>(n) * k,
+            tensor_bytes(g, b, da));
   if (!naive_kernels()) {
     detail::blocked_matmul_grad_a(G, B, DA, bg, m, n, k, shared_b,
                                   kernel_pool());
@@ -204,7 +217,8 @@ Tensor matmul_grad_b(const Tensor& a, const Tensor& g, const Shape& b_shape) {
   float* DB = db.data();
 
   static KernelMetrics km("matmul_grad_b");
-  km.record(2.0 * static_cast<double>(ba * m) * static_cast<double>(k) * n);
+  km.record(2.0 * static_cast<double>(ba * m) * static_cast<double>(k) * n,
+            tensor_bytes(a, g, db));
   if (!naive_kernels()) {
     detail::blocked_matmul_grad_b(A, G, DB, ba, m, k, n, bb == 1,
                                   kernel_pool());
@@ -267,6 +281,8 @@ Tensor transpose(const Tensor& a, const std::vector<int>& perm) {
 
   const float* X = a.data();
   float* Y = out.data();
+  static KernelMetrics km("transpose");
+  km.record(0.0, tensor_bytes(a, out));  // pure data movement, no flops
   if (!naive_kernels() && rank >= 2 && a.numel() > 0) {
     // Trailing-axes swap (weight transposes, attention reshuffles): tiled
     // 2-D transpose of `outer` independent matrices.
@@ -615,7 +631,8 @@ Tensor conv2d(const Tensor& x, const Tensor& w, std::int64_t stride,
 
   static KernelMetrics km("conv2d");
   km.record(2.0 * static_cast<double>(N * K * Ho * Wo) *
-            static_cast<double>(C * kh * kw));
+                static_cast<double>(C * kh * kw),
+            tensor_bytes(x, w, out));
   if (!naive_kernels()) {
     detail::blocked_conv2d(X, Wt, Y, N, C, H, W, K, kh, kw, stride, pad, Ho,
                            Wo, kernel_pool());
@@ -663,7 +680,8 @@ Tensor conv2d_grad_x(const Tensor& g, const Tensor& w, const Shape& x_shape,
 
   static KernelMetrics km("conv2d_grad_x");
   km.record(2.0 * static_cast<double>(N * K * Ho * Wo) *
-            static_cast<double>(C * kh * kw));
+                static_cast<double>(C * kh * kw),
+            tensor_bytes(g, w, dx));
   if (!naive_kernels()) {
     detail::blocked_conv2d_grad_x(G, Wt, DX, N, C, H, W, K, kh, kw, stride,
                                   pad, Ho, Wo, kernel_pool());
@@ -716,7 +734,8 @@ Tensor conv2d_grad_w(const Tensor& g, const Tensor& x, const Shape& w_shape,
 
   static KernelMetrics km("conv2d_grad_w");
   km.record(2.0 * static_cast<double>(N * K * Ho * Wo) *
-            static_cast<double>(C * kh * kw));
+                static_cast<double>(C * kh * kw),
+            tensor_bytes(g, x, dw));
   if (!naive_kernels()) {
     detail::blocked_conv2d_grad_w(G, X, DW, N, C, H, W, K, kh, kw, stride,
                                   pad, Ho, Wo, kernel_pool());

@@ -9,14 +9,18 @@
 #include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "cluster/cluster_spec.h"
 #include "comm/fabric.h"
 #include "models/bert.h"
+#include "obs/attribution.h"
+#include "obs/critpath.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -495,6 +499,344 @@ TEST(ObsTimeline, RecordSpansLandsInVirtualDomain) {
   EXPECT_EQ(events[0].tid, 1);
   EXPECT_DOUBLE_EQ(events[0].ts_us, 0.5e6);
   EXPECT_DOUBLE_EQ(events[0].dur_us, 1.0e6);
+}
+
+// ---- causal attribution (src/obs/critpath.h, src/obs/attribution.h) -------
+// Fixtures small enough to verify by hand against the GPipe recurrences:
+//   uniform2 (tf=tb=1, MB=4):    T = 10, each stage computes 8, bubbles 2
+//   comm2 (tf=tb=1, c=0.5, MB=2): T = 7, 1 s of comm on the critical path
+//   asym2 (s0 2x slower, MB=4):  T = 18, path compute s0=16 / s1=2
+
+std::vector<StageTimes> uniform2() { return {{1, 1, 0}, {1, 1, 0}}; }
+std::vector<StageTimes> comm2() { return {{1, 1, 0.5}, {1, 1, 0}}; }
+std::vector<StageTimes> asym2() { return {{2, 2, 0}, {1, 1, 0}}; }
+
+/// The canonical left-to-right fold the attribution layer fits bit-exactly.
+double fold(const obs::StageBuckets& b) {
+  return ((b.compute + b.comm) + b.queue) + b.bubble;
+}
+
+TEST(CritPath, UniformGpipeKnownPath) {
+  const ScheduleResult res = simulate_gpipe(uniform2(), 4);
+  const obs::CriticalPath path = critical_path(causal_ops(res), 2);
+  EXPECT_DOUBLE_EQ(path.makespan, 10.0);
+  EXPECT_EQ(path.terminal_stage, 0);
+  // The path tiles [0, makespan] with no gaps.
+  ASSERT_FALSE(path.segments.empty());
+  EXPECT_DOUBLE_EQ(path.segments.front().start, 0.0);
+  EXPECT_DOUBLE_EQ(path.segments.back().end, path.makespan);
+  for (std::size_t i = 1; i < path.segments.size(); ++i)
+    EXPECT_DOUBLE_EQ(path.segments[i].start, path.segments[i - 1].end);
+  ASSERT_EQ(path.compute_by_stage.size(), 2u);
+  EXPECT_DOUBLE_EQ(path.compute_by_stage[0], 5.0);
+  EXPECT_DOUBLE_EQ(path.compute_by_stage[1], 5.0);
+  EXPECT_DOUBLE_EQ(path.compute_total, 10.0);
+  EXPECT_DOUBLE_EQ(path.comm_total, 0.0);
+}
+
+TEST(CritPath, AsymmetricStagesPath) {
+  const ScheduleResult res = simulate_gpipe(asym2(), 4);
+  const obs::CriticalPath path = critical_path(causal_ops(res), 2);
+  EXPECT_DOUBLE_EQ(path.makespan, 18.0);
+  EXPECT_EQ(path.terminal_stage, 0);
+  ASSERT_EQ(path.compute_by_stage.size(), 2u);
+  // The slow stage dominates: all 8 of its ops are on the path, but only
+  // the handoff pair (f3 and b3) of the fast stage.
+  EXPECT_DOUBLE_EQ(path.compute_by_stage[0], 16.0);
+  EXPECT_DOUBLE_EQ(path.compute_by_stage[1], 2.0);
+}
+
+TEST(CritPath, CommEdgesOnPath) {
+  const ScheduleResult res = simulate_gpipe(comm2(), 2);
+  const obs::CriticalPath path = critical_path(causal_ops(res), 2);
+  EXPECT_DOUBLE_EQ(path.makespan, 7.0);
+  ASSERT_EQ(path.comm_by_edge.size(), 1u);
+  // One forward and one backward boundary transfer bind: 2 * 0.5 s.
+  EXPECT_DOUBLE_EQ(path.comm_by_edge[0], 1.0);
+  EXPECT_DOUBLE_EQ(path.comm_total, 1.0);
+  int comm_segments = 0;
+  for (const obs::PathSegment& s : path.segments)
+    if (s.kind == obs::PathSegment::Kind::Comm) ++comm_segments;
+  EXPECT_EQ(comm_segments, 2);
+}
+
+TEST(Attribution, UniformGpipeMatchesTextbookBubble) {
+  const obs::AttributionReport rep =
+      obs::attribute(causal_ops(simulate_gpipe(uniform2(), 4)), 2, 4);
+  EXPECT_DOUBLE_EQ(rep.step_time, 10.0);
+  EXPECT_EQ(rep.anchor_stage, 0);
+  EXPECT_DOUBLE_EQ(rep.step.compute, 8.0);
+  EXPECT_DOUBLE_EQ(rep.step.comm, 0.0);
+  EXPECT_DOUBLE_EQ(rep.step.queue, 0.0);
+  EXPECT_DOUBLE_EQ(rep.step.bubble, 2.0);
+  // (S-1)/(MB+S-1) = 1/5 for S=2, MB=4.
+  EXPECT_DOUBLE_EQ(rep.step.bubble / rep.step.total, 0.2);
+  EXPECT_DOUBLE_EQ(rep.step.bubble / rep.step.total,
+                   simulate_gpipe(uniform2(), 4).bubble_fraction);
+}
+
+TEST(Attribution, CommFixtureBuckets) {
+  const obs::AttributionReport rep =
+      obs::attribute(causal_ops(simulate_gpipe(comm2(), 2)), 2, 2);
+  EXPECT_DOUBLE_EQ(rep.step_time, 7.0);
+  ASSERT_EQ(rep.stages.size(), 2u);
+  for (const obs::StageBuckets& b : rep.stages) {
+    EXPECT_DOUBLE_EQ(b.compute, 4.0);
+    EXPECT_DOUBLE_EQ(b.comm, 0.5);
+    EXPECT_DOUBLE_EQ(b.queue, 0.0);
+    EXPECT_DOUBLE_EQ(b.bubble, 2.5);
+  }
+}
+
+TEST(Attribution, ConservationBitExactAcrossSimulators) {
+  // Awkward, non-representable times so the fit actually has to work.
+  const std::vector<StageTimes> st = {
+      {0.3, 0.7, 0.013}, {0.41, 0.29, 0.007}, {0.5, 0.23, 0}};
+  for (const ScheduleResult& res :
+       {simulate_gpipe(st, 7), simulate_1f1b_sync(st, 7)}) {
+    const obs::AttributionReport rep = obs::attribute(causal_ops(res), 3, 7);
+    EXPECT_DOUBLE_EQ(rep.step_time, res.iteration_time);
+    for (const obs::StageBuckets& b : rep.stages) {
+      // Bit-exact: == on doubles, not a tolerance.
+      EXPECT_EQ(fold(b), rep.step_time);
+      EXPECT_EQ(b.total, rep.step_time);
+      EXPECT_GE(b.compute, 0.0);
+      EXPECT_GE(b.comm, 0.0);
+      EXPECT_GE(b.bubble, -1e-12);
+    }
+    EXPECT_EQ(fold(rep.step), rep.step_time);
+  }
+}
+
+TEST(Attribution, SyntheticContentionFillsQueueBucket) {
+  // Two ops on two stages; the consumer's measured edge delay (1.0) is
+  // larger than the uncontended nominal (0.4): the excess is queuing.
+  std::vector<obs::CausalOp> ops(2);
+  ops[0].stage = 0;
+  ops[0].end = 1.0;
+  ops[1].stage = 1;
+  ops[1].start = 2.0;
+  ops[1].end = 3.0;
+  ops[1].dep_stage = 0;
+  ops[1].data_ready = 2.0;
+  ops[1].comm_delay = 1.0;
+  ops[1].comm_nominal = 0.4;
+  const obs::AttributionReport rep = obs::attribute(ops, 2, 1);
+  EXPECT_DOUBLE_EQ(rep.step_time, 3.0);
+  const obs::StageBuckets& b = rep.stages[1];
+  EXPECT_DOUBLE_EQ(b.comm, 0.4);
+  EXPECT_DOUBLE_EQ(b.queue, 0.6);
+  EXPECT_DOUBLE_EQ(b.bubble, 1.0);  // head idle [0, 1)
+  EXPECT_EQ(fold(b), rep.step_time);
+}
+
+TEST(Attribution, StragglerRankingByCompute) {
+  const obs::AttributionReport rep =
+      obs::attribute(causal_ops(simulate_gpipe(asym2(), 4)), 2, 4);
+  ASSERT_EQ(rep.stragglers.size(), 2u);
+  EXPECT_EQ(rep.stragglers[0], 0);  // 16 s of compute vs 8 s
+  EXPECT_EQ(rep.stragglers[1], 1);
+}
+
+/// Runs the estimator and the ground-truth re-simulation for one what-if.
+obs::WhatIfResult eval_what_if(const obs::AttributionReport& rep,
+                               const std::vector<StageTimes>& st, int mb,
+                               const obs::WhatIf& w) {
+  obs::WhatIfResult r;
+  r.spec = w;
+  r.name = obs::what_if_name(w);
+  r.baseline = rep.step_time;
+  r.estimate = obs::estimate_what_if(rep, w);
+  std::vector<StageTimes> st2 = st;
+  int mb2 = mb;
+  apply_what_if(w, st2, mb2);
+  r.ground_truth = simulate_gpipe(st2, mb2).iteration_time;
+  return r;
+}
+
+TEST(Attribution, WhatIfWithinFivePercentOfGroundTruth) {
+  using K = obs::WhatIf::Kind;
+  const obs::AttributionReport asym =
+      obs::attribute(causal_ops(simulate_gpipe(asym2(), 4)), 2, 4);
+  const obs::AttributionReport comm =
+      obs::attribute(causal_ops(simulate_gpipe(comm2(), 2)), 2, 2);
+  const obs::AttributionReport unif =
+      obs::attribute(causal_ops(simulate_gpipe(uniform2(), 4)), 2, 4);
+
+  struct Case {
+    const obs::AttributionReport* rep;
+    std::vector<StageTimes> st;
+    int mb;
+    obs::WhatIf w;
+    double expect_truth;
+  };
+  const std::vector<Case> cases = {
+      {&asym, asym2(), 4, {K::StageComputeScale, 0, 0.75, 0}, 14.0},
+      {&asym, asym2(), 4, {K::StageComputeScale, 0, 1.25, 0}, 22.0},
+      {&asym, asym2(), 4, {K::StageComputeScale, 1, 0.5, 0}, 17.0},
+      {&comm, comm2(), 2, {K::AllCommScale, -1, 0.5, 0}, 6.5},
+      {&comm, comm2(), 2, {K::EdgeCommScale, 0, 2.0, 0}, 8.0},
+      {&unif, uniform2(), 4, {K::Microbatches, -1, 1.0, 8}, 18.0},
+      {&unif, uniform2(), 4, {K::Microbatches, -1, 1.0, 2}, 6.0},
+  };
+  ASSERT_GE(cases.size(), 6u);  // the acceptance bar: >= 6 perturbations
+  for (const Case& c : cases) {
+    const obs::WhatIfResult r = eval_what_if(*c.rep, c.st, c.mb, c.w);
+    EXPECT_DOUBLE_EQ(r.ground_truth, c.expect_truth) << r.name;
+    EXPECT_LE(std::abs(r.estimate - r.ground_truth),
+              0.05 * r.ground_truth)
+        << r.name << ": estimate " << r.estimate << " vs ground truth "
+        << r.ground_truth;
+  }
+}
+
+TEST(Attribution, DefaultCatalogHasAtLeastSixEntries) {
+  const obs::AttributionReport rep =
+      obs::attribute(causal_ops(simulate_gpipe(uniform2(), 4)), 2, 4);
+  EXPECT_GE(obs::default_what_ifs(rep).size(), 6u);
+}
+
+TEST(Attribution, FabricContentionAttributedToNicQueue) {
+  ClusterSpec spec;
+  spec.num_nodes = 2;
+  spec.devices_per_node = 2;
+  comm::Fabric fabric(spec);
+  fabric.set_transfer_log(true);
+  // Two node-crossing transfers share nic-out:0 / nic-in:1: the fluid
+  // fair share halves the NIC for both, so each flows for ~2x its
+  // uncontended nominal and the excess lands in the queue bucket.
+  const std::vector<comm::Fabric::Transfer> batch = {
+      {0, 2, 8.0e6}, {1, 3, 8.0e6}};
+  fabric.run_step(batch);
+
+  obs::AttributionReport rep;
+  comm::attribute_fabric(rep, fabric);
+  ASSERT_FALSE(rep.links.empty());
+  const obs::LinkAttribution* nic = nullptr;
+  for (const obs::LinkAttribution& l : rep.links)
+    if (l.name == "nic-out:0") nic = &l;
+  ASSERT_NE(nic, nullptr);
+  EXPECT_EQ(nic->transfers, 2);
+  EXPECT_GT(nic->queue, 0.0);
+  // Bit-exact per-link conservation: wire + queue == active.
+  EXPECT_EQ(nic->wire + nic->queue, nic->active);
+  ASSERT_FALSE(rep.bottleneck_links.empty());
+  EXPECT_EQ(rep.links[static_cast<std::size_t>(rep.bottleneck_links[0])].name,
+            "nic-out:0");
+  EXPECT_GT(rep.fabric_horizon, 0.0);
+}
+
+TEST(Attribution, UncontendedTransferHasZeroQueue) {
+  ClusterSpec spec;
+  spec.num_nodes = 2;
+  spec.devices_per_node = 2;
+  comm::Fabric fabric(spec);
+  fabric.set_transfer_log(true);
+  fabric.p2p(0, 2, 8 << 20);
+  obs::AttributionReport rep;
+  comm::attribute_fabric(rep, fabric);
+  ASSERT_FALSE(rep.links.empty());
+  for (const obs::LinkAttribution& l : rep.links) {
+    EXPECT_EQ(l.queue, 0.0) << l.name;
+    EXPECT_EQ(l.wire + l.queue, l.active) << l.name;
+  }
+}
+
+TEST(Attribution, ReportJsonDeterministicAndWellFormed) {
+  // Same partition searched with different thread counts must produce a
+  // byte-identical attribution report (the CI re-checks this across
+  // RANNC_THREADS via rannc-explain; this is the in-process version).
+  BertConfig bc;
+  bc.hidden = 128;
+  bc.layers = 2;
+  bc.seq_len = 64;
+  const TaskGraph g = build_bert(bc).graph;
+  std::vector<std::string> docs;
+  for (int threads : {1, 4}) {
+    PartitionConfig cfg;
+    cfg.batch_size = 8;
+    cfg.threads = threads;
+    const PartitionResult plan = auto_partition(g, cfg);
+    ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+    const int S = static_cast<int>(plan.stages.size());
+    std::vector<StageTimes> st(static_cast<std::size_t>(S));
+    for (int s = 0; s < S; ++s) {
+      const StagePlan& sp = plan.stages[static_cast<std::size_t>(s)];
+      const double comm = s + 1 < S ? partitioner_comm_time(
+                                          cfg.cluster, sp.comm_out_bytes)
+                                    : 0.0;
+      st[static_cast<std::size_t>(s)] = {sp.t_f, sp.t_b, comm};
+    }
+    obs::AttributionReport rep = obs::attribute(
+        causal_ops(simulate_gpipe(st, plan.microbatches)), S,
+        plan.microbatches);
+    for (const obs::WhatIf& w : obs::default_what_ifs(rep))
+      rep.what_ifs.push_back(
+          eval_what_if(rep, st, plan.microbatches, w));
+    docs.push_back(obs::report_json(rep));
+  }
+  EXPECT_EQ(docs[0], docs[1]);
+  EXPECT_TRUE(json_well_formed(docs[0]));
+  // The table renderer runs on the same report without throwing.
+  EXPECT_FALSE(obs::report_table(obs::attribute(
+                   causal_ops(simulate_gpipe(uniform2(), 4)), 2, 4))
+                   .empty());
+}
+
+TEST(ExactMath, FitResidualLandsBitExactly) {
+  obs::ExactSum partial;
+  for (int i = 0; i < 1000; ++i) partial.add(0.1);
+  const double p = partial.value();
+  const double total = 100.0;
+  const double r = obs::fit_residual(total, p);
+  EXPECT_EQ(p + r, total);  // bit-exact by construction
+  EXPECT_EQ(obs::fit_residual(7.0, 7.0), 0.0);
+  // Inputs whose scales make the fold unreachable must throw, not return
+  // a silently wrong residual.
+  EXPECT_THROW(obs::fit_residual(1.0, 1e300), std::logic_error);
+}
+
+TEST(ExactMath, ExactSumCompensates) {
+  obs::ExactSum s;
+  s.add(1.0);
+  s.add(1e100);
+  s.add(1.0);
+  s.add(-1e100);
+  EXPECT_EQ(s.value(), 2.0);  // naive summation yields 0
+}
+
+TEST(ObsMetrics, HistogramQuantiles) {
+  obs::Histogram h;
+  h.record(3.0);
+  obs::Histogram::Snapshot one = h.snapshot();
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 3.0);  // single sample: clamped exact
+  EXPECT_DOUBLE_EQ(one.quantile(0.99), 3.0);
+
+  obs::Histogram many;
+  for (int i = 1; i <= 1000; ++i) many.record(static_cast<double>(i));
+  obs::Histogram::Snapshot s = many.snapshot();
+  const double p50 = s.quantile(0.50);
+  const double p99 = s.quantile(0.99);
+  EXPECT_GE(p50, s.min);
+  EXPECT_LE(p50, s.max);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, s.max);
+  // Exponential buckets: the estimates are within one bucket (2x) of truth.
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_GE(p99, 500.0);
+
+  obs::Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.snapshot().quantile(0.5), 0.0);
+}
+
+TEST(ObsMetrics, SnapshotJsonCarriesQuantiles) {
+  obs::MetricsRegistry reg;
+  reg.histogram("x").record(2.5);
+  const std::string doc = reg.to_json();
+  EXPECT_TRUE(json_well_formed(doc));
+  EXPECT_NE(doc.find("\"p50\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p99\""), std::string::npos);
 }
 
 }  // namespace

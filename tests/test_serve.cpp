@@ -449,6 +449,26 @@ TEST(PlanServerTest, MissThenHitAndPlanIsBitIdenticalToDirect) {
   EXPECT_EQ(s.errors, 0);
 }
 
+TEST(PlanServerTest, StatsJsonCarriesLatencyQuantiles) {
+  PlanServer server(ServeOptions{});
+  const ServeRequest req = mlp_request();
+  ASSERT_EQ(server.handle(req).status, ServeResponse::Status::Miss);
+  ASSERT_EQ(server.handle(req).status, ServeResponse::Status::Hit);
+
+  // --metrics consumers read p50/p99 from the serve.* latency histograms;
+  // the stats snapshot republishes them so `stats` over the wire carries
+  // the same numbers.
+  const json::Value v = json::parse(server.stats_json());
+  const json::Value* hit = v.find("hit_latency_us");
+  const json::Value* miss = v.find("miss_latency_us");
+  ASSERT_NE(hit, nullptr);
+  ASSERT_NE(miss, nullptr);
+  EXPECT_GT(hit->getd("p50"), 0.0);
+  EXPECT_GE(hit->getd("p99"), hit->getd("p50"));
+  EXPECT_GT(miss->getd("p50"), 0.0);
+  EXPECT_GE(miss->getd("p99"), miss->getd("p50"));
+}
+
 TEST(PlanServerTest, DiskWarmRestartHitsWithIdenticalPlan) {
   const auto dir = fresh_dir("restart");
   std::string first_plan;

@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Continuous regression sentinel over the committed BENCH_*.json baselines.
+
+Usage:
+    bench_sentinel.py --build-dir build [--quick] [--baseline-dir .]
+                      [--work-dir DIR] [--skip NAME ...]
+
+Re-runs the four benchmark suites (bench_partitioner, bench_serve,
+bench_runtime, bench_comm_fabric) and compares their fresh JSON output
+against the committed BENCH_{PARTITIONER,SERVE,RUNTIME,COMM_FABRIC}.json
+baselines. Wall-clock timings are machine-dependent and never compared;
+the sentinel guards the *deterministic* surface:
+
+  partitioner   geometries matched by (name, batch_size): task counts,
+                feasibility, plans_identical, and the search-work counters
+                (dp_cells, profile_queries, memo hits/misses) per config
+                label must be identical — these count algorithmic work,
+                so any drift is a behaviour change, not noise.
+  serve         phase request/hit/miss/disk-hit counts and the p99 gate
+                when the trace length matches the baseline's.
+  runtime       per-model final losses (bit-cited in the baseline) when
+                the quick flags match, plus thread_bit_identical. The
+                benchmark's own 5x speedup gate is wall-clock-dependent,
+                so the sentinel reruns it with --gate 1.0 (the fast path
+                must merely not be slower than the naive one).
+  comm_fabric   rows matched by (op, bytes, ranks, spans_nodes):
+                analytic_s and simulated_s are pure virtual time and must
+                match to 1e-9 relative.
+
+Rows/geometries/phases present only in the baseline (e.g. a --quick run
+covers a subset) are skipped with a note, never failed; invariant gates
+on the current run (plans identical across thread counts, restart served
+entirely from disk, simulated >= analytic, runtime pass) always apply.
+
+Exits 0 when nothing drifted, 1 on drift or a failed invariant, 2 on
+usage/setup errors. No third-party deps.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+BENCHES = ["partitioner", "serve", "runtime", "comm_fabric"]
+REL_TOL = 1e-9
+
+
+def rel_close(a, b, tol=REL_TOL):
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+class Sentinel:
+    def __init__(self):
+        self.failures = []
+        self.notes = []
+
+    def fail(self, msg):
+        self.failures.append(msg)
+
+    def note(self, msg):
+        self.notes.append(msg)
+
+    def expect(self, cond, msg):
+        if not cond:
+            self.fail(msg)
+
+
+def check_partitioner(s, base, cur):
+    for g in cur.get("geometries", []):
+        key = f"partitioner/{g['name']}"
+        s.expect(g.get("plans_identical") is True,
+                 f"{key}: plans differ across thread counts")
+        for c in g.get("configs", []):
+            s.expect(c.get("feasible") is True,
+                     f"{key}/{c['label']}: infeasible partition")
+    base_geoms = {(g["name"], g["batch_size"]): g
+                  for g in base.get("geometries", [])}
+    for g in cur.get("geometries", []):
+        bg = base_geoms.get((g["name"], g["batch_size"]))
+        key = f"partitioner/{g['name']}"
+        if bg is None:
+            s.note(f"{key} (batch {g['batch_size']}): no matching baseline "
+                   "geometry, drift check skipped")
+            continue
+        s.expect(g["tasks"] == bg["tasks"],
+                 f"{key}: task count {g['tasks']} != baseline {bg['tasks']}")
+        base_cfgs = {c["label"]: c for c in bg.get("configs", [])}
+        for c in g.get("configs", []):
+            b = base_cfgs.get(c["label"])
+            if b is None:
+                s.note(f"{key}/{c['label']}: no baseline config")
+                continue
+            for field in ("dp_cells", "profile_queries",
+                          "profile_queries_saved", "memo_hits",
+                          "memo_misses"):
+                s.expect(
+                    c[field] == b[field],
+                    f"{key}/{c['label']}.{field}: {c[field]} != "
+                    f"baseline {b[field]}")
+
+
+def check_serve(s, base, cur):
+    phases = cur.get("phases", {})
+    if "restart" in phases:
+        s.expect(phases["restart"].get("hit_rate") == 1,
+                 "serve/restart: not every key served from the durable store")
+    if "rerun" in phases:
+        s.expect(phases["rerun"].get("hit_rate") == 1,
+                 "serve/rerun: warm reruns missed the in-memory cache")
+    s.expect(cur.get("gate_warm_p99_le_1ms") is True,
+             "serve: warm-hit p99 gate failed on the current run")
+    if cur.get("trace_len") != base.get("trace_len"):
+        s.note(f"serve: trace length {cur.get('trace_len')} != baseline "
+               f"{base.get('trace_len')}, count drift check skipped")
+        return
+    s.expect(cur.get("distinct_keys") == base.get("distinct_keys"),
+             "serve: distinct key count drifted")
+    for name, bp in base.get("phases", {}).items():
+        cp = phases.get(name)
+        if cp is None:
+            s.fail(f"serve/{name}: phase missing from current run")
+            continue
+        for field in ("requests", "hits", "misses", "disk_hits"):
+            s.expect(cp[field] == bp[field],
+                     f"serve/{name}.{field}: {cp[field]} != "
+                     f"baseline {bp[field]}")
+
+
+def check_runtime(s, base, cur):
+    s.expect(cur.get("pass") is True,
+             "runtime: fast path slower than the naive path (gate 1.0x)")
+    base_models = {m["name"]: m for m in base.get("models", [])}
+    same_mode = cur.get("quick") == base.get("quick")
+    for m in cur.get("models", []):
+        key = f"runtime/{m['name']}"
+        s.expect(m.get("thread_bit_identical") is True,
+                 f"{key}: losses not bit-identical across thread counts")
+        b = base_models.get(m["name"])
+        if b is None:
+            s.note(f"{key}: no baseline model")
+            continue
+        s.expect(m["stages"] == b["stages"] and
+                 m["microbatches"] == b["microbatches"],
+                 f"{key}: pipeline shape drifted")
+        if same_mode:
+            for variant in ("naive", "fast"):
+                if not rel_close(m[variant]["final_loss"],
+                                 b[variant]["final_loss"], 1e-6):
+                    s.fail(f"{key}/{variant}.final_loss: "
+                           f"{m[variant]['final_loss']} != baseline "
+                           f"{b[variant]['final_loss']}")
+        else:
+            s.note(f"{key}: quick-mode step counts differ from baseline, "
+                   "final_loss drift check skipped")
+
+
+def check_comm_fabric(s, base, cur):
+    base_rows = {(r["op"], r["bytes"], r["ranks"], r["spans_nodes"]): r
+                 for r in base}
+    for r in cur:
+        key = (f"comm_fabric/{r['op']}-{r['bytes']}B-{r['ranks']}r-"
+               f"{'inter' if r['spans_nodes'] else 'intra'}")
+        s.expect(r["simulated_s"] >= r["analytic_s"] * (1 - REL_TOL),
+                 f"{key}: simulated time below the contention-free bound")
+        b = base_rows.get((r["op"], r["bytes"], r["ranks"], r["spans_nodes"]))
+        if b is None:
+            s.note(f"{key}: no matching baseline row")
+            continue
+        for field in ("analytic_s", "simulated_s"):
+            if not rel_close(r[field], b[field]):
+                s.fail(f"{key}.{field}: {r[field]} != baseline {b[field]}")
+
+
+CHECKS = {
+    "partitioner": check_partitioner,
+    "serve": check_serve,
+    "runtime": check_runtime,
+    "comm_fabric": check_comm_fabric,
+}
+
+
+def run_bench(name, build_dir, work_dir, quick):
+    exe = os.path.join(os.path.abspath(build_dir), "bench", f"bench_{name}")
+    if not os.path.exists(exe):
+        raise RuntimeError(f"benchmark binary not found: {exe}")
+    out_path = os.path.join(work_dir, f"BENCH_{name.upper()}.json")
+    cmd = [exe]
+    if quick:
+        cmd.append("--quick")
+    if name != "comm_fabric":  # comm_fabric writes to its cwd, no --out
+        cmd += ["--out", out_path]
+    if name == "runtime":
+        # The benchmark's 5x speedup gate is wall-clock-dependent; the
+        # sentinel only requires the fast path not to be slower.
+        cmd += ["--gate", "1.0"]
+    proc = subprocess.run(cmd, cwd=work_dir, stdout=subprocess.DEVNULL,
+                          stderr=subprocess.PIPE, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench_{name} exited {proc.returncode}: {proc.stderr[-500:]}")
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline-dir", default=".",
+                    help="directory holding the committed BENCH_*.json files")
+    ap.add_argument("--work-dir", default="sentinel-out",
+                    help="where fresh benchmark output is written")
+    ap.add_argument("--quick", action="store_true",
+                    help="pass --quick to every benchmark (CI smoke mode)")
+    ap.add_argument("--skip", action="append", default=[], choices=BENCHES,
+                    help="skip one benchmark (repeatable)")
+    args = ap.parse_args(argv[1:])
+
+    os.makedirs(args.work_dir, exist_ok=True)
+    s = Sentinel()
+    ran = 0
+    for name in BENCHES:
+        if name in args.skip:
+            s.note(f"{name}: skipped by request")
+            continue
+        baseline_path = os.path.join(
+            args.baseline_dir, f"BENCH_{name.upper()}.json")
+        if not os.path.exists(baseline_path):
+            print(f"error: missing baseline {baseline_path}", file=sys.stderr)
+            return 2
+        with open(baseline_path) as f:
+            base = json.load(f)
+        try:
+            cur = run_bench(name, args.build_dir, args.work_dir, args.quick)
+        except RuntimeError as e:
+            s.fail(f"{name}: {e}")
+            continue
+        CHECKS[name](s, base, cur)
+        ran += 1
+
+    for msg in s.notes:
+        print(f"note: {msg}")
+    for msg in s.failures:
+        print(f"DRIFT: {msg}")
+    if s.failures:
+        print(f"sentinel: {len(s.failures)} failure(s) across {ran} suite(s)")
+        return 1
+    print(f"sentinel: OK ({ran} suite(s), {len(s.notes)} note(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

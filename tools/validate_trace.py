@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""Validate rannc-trace outputs against the checked-in JSON schemas.
+"""Validate rannc-trace / rannc-explain outputs against the checked-in
+JSON schemas.
 
 Usage:
     validate_trace.py [--search-only] trace.json [metrics.json]
+    validate_trace.py --explain explain.json
 
 Validates trace.json against tools/trace_schema.json (and metrics.json
 against tools/metrics_schema.json when given) using a small built-in
@@ -18,6 +20,15 @@ subset of JSON Schema (type / required / properties / additionalProperties
 With --search-only (e.g. for bench_partitioner --trace output, which has
 no simulation replay) the pid 2/3 checks are skipped and a profile-memo
 counter series is required instead.
+
+With --explain the single argument is a rannc-explain attribution report,
+validated against tools/explain_schema.json plus semantic checks: every
+stage's buckets fold to the step time *bit-exactly* (the serializer emits
+max_digits10 doubles, so the C++ conservation guarantee survives the JSON
+round-trip into Python floats), each link's wire + queue equals its active
+seconds exactly, the critical path tiles [start, makespan] with no gaps,
+stragglers is a permutation of the stages, and the what-if catalog has
+>= 6 entries with consistent rel_error values.
 
 Exits 0 when everything passes, 1 otherwise. No third-party deps.
 """
@@ -118,7 +129,72 @@ def semantic_trace_checks(trace, search_only=False):
     return errors
 
 
+def semantic_explain_checks(rep):
+    errors = []
+
+    def fold(b):
+        # The canonical left-to-right fold the C++ side fits bit-exactly.
+        return ((b["compute"] + b["comm"]) + b["queue"]) + b["bubble"]
+
+    t = rep["step_time"]
+    if fold(rep["step"]) != t:
+        errors.append(f"step buckets fold to {fold(rep['step'])!r}, not {t!r}")
+    for entry in rep["stages"]:
+        b = entry["buckets"]
+        if b["total"] != t or fold(b) != t:
+            errors.append(f"stage {entry['stage']}: buckets do not fold to step_time")
+    anchor = rep["anchor_stage"]
+    if 0 <= anchor < len(rep["stages"]):
+        if rep["step"] != rep["stages"][anchor]["buckets"]:
+            errors.append("step decomposition is not the anchor stage's buckets")
+    if sorted(rep["stragglers"]) != list(range(rep["num_stages"])):
+        errors.append(f"stragglers {rep['stragglers']} is not a permutation of stages")
+
+    cp = rep["critical_path"]
+    segs = cp["segments"]
+    for a, b in zip(segs, segs[1:]):
+        if a["end"] != b["start"]:
+            errors.append(
+                f"critical path gap: segment ends {a['end']!r}, next starts {b['start']!r}"
+            )
+            break
+    if segs and segs[-1]["end"] != cp["makespan"]:
+        errors.append("critical path does not end at the makespan")
+    if cp["makespan"] != t:
+        errors.append("critical_path.makespan != step_time")
+
+    for link in rep["links"]:
+        if link["wire"] + link["queue"] != link["active"]:
+            errors.append(f"link {link['name']}: wire + queue != active")
+    if sorted(rep["bottleneck_links"]) != sorted(l["name"] for l in rep["links"]):
+        errors.append("bottleneck_links is not a permutation of link names")
+
+    if len(rep["what_if"]) < 6:
+        errors.append(f"what-if catalog has {len(rep['what_if'])} entries, expected >= 6")
+    for w in rep["what_if"]:
+        if w["baseline"] != t:
+            errors.append(f"what-if {w['name']}: baseline != step_time")
+        if (w["ground_truth"] is None) != (w["rel_error"] is None):
+            errors.append(f"what-if {w['name']}: ground_truth/rel_error mismatch")
+    return errors
+
+
 def main(argv):
+    if "--explain" in argv:
+        argv = [a for a in argv if a != "--explain"]
+        if len(argv) != 2:
+            print(__doc__)
+            return 2
+        rep, failures = validate_file(argv[1], "explain_schema.json")
+        if not failures:
+            failures += semantic_explain_checks(rep)
+        for msg in failures[:50]:
+            print(f"FAIL: {msg}")
+        if failures:
+            return 1
+        print(f"OK: {argv[1]}")
+        return 0
+
     search_only = "--search-only" in argv
     argv = [a for a in argv if a != "--search-only"]
     if len(argv) < 2 or len(argv) > 3:
