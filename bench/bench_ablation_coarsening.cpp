@@ -32,15 +32,15 @@ int main() {
     bc.layers = L;
     BuiltModel bm = build_bert(bc);
 
-    PartitionConfig with;
+    SearchRequest with;
     with.batch_size = BS;
-    const PartitionResult rw = auto_partition(bm.graph, with);
+    const PartitionResult rw = auto_partition(bm.graph, with).plan;
 
-    PartitionConfig without = with;
+    SearchRequest without = with;
     without.use_coarsening = false;
     // Stand-in for the paper's 24h wall-clock limit: a DP cell budget.
-    without.max_dp_cells = 400'000'000;
-    const PartitionResult ro = auto_partition(bm.graph, without);
+    without.budget.max_dp_cells = 400'000'000;
+    const PartitionResult ro = auto_partition(bm.graph, without).plan;
 
     char wcell[64] = "OOM";
     if (rw.feasible)

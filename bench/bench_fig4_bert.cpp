@@ -74,12 +74,12 @@ int main(int argc, char** argv) {
       const BaselinePlan gp = plan_gpipe_hybrid(bm, cluster, BS);
       const BaselinePlan pd = plan_pipedream_2bw(bm, cluster, BS);
 
-      PartitionConfig cfg;
+      SearchRequest cfg;
       cfg.cluster = cluster;
       cfg.batch_size = BS;
-      const PartitionResult rn = auto_partition(bm.graph, cfg);
+      const PartitionResult rn = auto_partition(bm.graph, cfg).plan;
       cfg.precision = Precision::Mixed;
-      const PartitionResult rn_amp = auto_partition(bm.graph, cfg);
+      const PartitionResult rn_amp = auto_partition(bm.graph, cfg).plan;
 
       char params[16];
       std::snprintf(params, sizeof(params), "%.2fB",

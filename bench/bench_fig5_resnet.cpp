@@ -45,19 +45,19 @@ int main() {
     // ---- 32 GPUs, batch 512 ----
     const BaselinePlan dp32 =
         plan_data_parallel(rm, four_nodes, Precision::FP32, 512);
-    PartitionConfig cfg32;
+    SearchRequest cfg32;
     cfg32.cluster = four_nodes;
     cfg32.batch_size = 512;
-    const PartitionResult rn32 = auto_partition(rm.graph, cfg32);
+    const PartitionResult rn32 = auto_partition(rm.graph, cfg32).plan;
 
     // ---- 8 GPUs, batch 128 ----
     const BaselinePlan dp8 =
         plan_data_parallel(rm, one_node, Precision::FP32, 128);
     const BaselinePlan gp8 = plan_gpipe_model(rm, one_node, 128, 64);
-    PartitionConfig cfg8;
+    SearchRequest cfg8;
     cfg8.cluster = one_node;
     cfg8.batch_size = 128;
-    const PartitionResult rn8 = auto_partition(rm.graph, cfg8);
+    const PartitionResult rn8 = auto_partition(rm.graph, cfg8).plan;
 
     std::printf("ResNet%dx8 (%.2fB params)\n", depth, params_b);
     std::printf("  32 GPUs, batch 512: DataParallel %-8s RaNNC %s",

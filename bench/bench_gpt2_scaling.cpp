@@ -35,9 +35,9 @@ int main() {
     gc.layers = sz.layers;
     BuiltModel gm = build_gpt2(gc);
     const BaselinePlan dp = plan_data_parallel(gm, cluster, Precision::FP32, BS);
-    PartitionConfig cfg;
+    SearchRequest cfg;
     cfg.batch_size = BS;
-    const PartitionResult rn = auto_partition(gm.graph, cfg);
+    const PartitionResult rn = auto_partition(gm.graph, cfg).plan;
 
     char params[16];
     std::snprintf(params, sizeof(params), "%.2fB",

@@ -21,13 +21,13 @@ int main() {
 
   // Miniature cluster whose devices cannot hold the whole model, so the
   // partitioner must pipeline.
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.cluster.num_nodes = 1;
   cfg.cluster.devices_per_node = 4;
   cfg.cluster.device.memory_bytes = 5 * m.graph.num_params() * 4;  // > model state, < state + activations
   cfg.batch_size = 32;
   cfg.num_blocks = 8;
-  PartitionResult plan = auto_partition(m.graph, cfg);
+  PartitionResult plan = auto_partition(m.graph, cfg).plan;
   if (!plan.feasible) {
     std::printf("partitioning infeasible: %s\n", plan.infeasible_reason.c_str());
     return 1;

@@ -110,11 +110,14 @@ ConfigResult run_config(const TaskGraph& graph, const Geometry& g,
   cr.search_seconds = 1e30;
   cr.wall_seconds = 1e30;
   for (int rep = 0; rep < reps; ++rep) {
-    PartitionConfig cfg;
-    cfg.batch_size = g.batch_size;
-    cfg.threads = threads;
-    cfg.profile_memo = profile_memo;
-    PartitionResult r = auto_partition(graph, cfg);
+    SearchRequest req;
+    req.batch_size = g.batch_size;
+    req.budget.threads = threads;
+    req.profile_memo = profile_memo;
+    // This bench measures the exhaustive sweep (its counters are the
+    // sentinel baseline); bench_search_scale covers the pruned engine.
+    req.prune.enabled = false;
+    PartitionResult r = auto_partition(graph, req).plan;
     cr.feasible = r.feasible;
     cr.search_seconds = std::min(cr.search_seconds, r.stats.search_seconds);
     cr.wall_seconds = std::min(cr.wall_seconds, r.stats.wall_seconds);

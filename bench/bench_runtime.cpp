@@ -64,13 +64,13 @@ ModelCase make_mlp_case() {
   mc.batch = 32;
   ModelCase c{"mlp", build_mlp(mc), {}, 1, nullptr};
 
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.cluster.num_nodes = 1;
   cfg.cluster.devices_per_node = 4;
   cfg.cluster.device.memory_bytes = 5 * c.model.graph.num_params() * 4;
   cfg.batch_size = 32;
   cfg.num_blocks = 8;
-  PartitionResult plan = auto_partition(c.model.graph, cfg);
+  PartitionResult plan = auto_partition(c.model.graph, cfg).plan;
   if (!plan.feasible) {
     std::fprintf(stderr, "mlp partition infeasible: %s\n",
                  plan.infeasible_reason.c_str());
@@ -112,13 +112,13 @@ ModelCase make_bert_case() {
   bc.vocab = 512;
   ModelCase c{"bert_tiny", build_bert(bc), {}, 1, nullptr};
 
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.cluster.num_nodes = 1;
   cfg.cluster.devices_per_node = 2;
   cfg.cluster.device.memory_bytes = 5 * c.model.graph.num_params() * 4;
   cfg.batch_size = 4;
   cfg.num_blocks = 6;
-  PartitionResult plan = auto_partition(c.model.graph, cfg);
+  PartitionResult plan = auto_partition(c.model.graph, cfg).plan;
   if (!plan.feasible) {
     std::fprintf(stderr, "bert partition infeasible: %s\n",
                  plan.infeasible_reason.c_str());

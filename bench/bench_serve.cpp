@@ -45,9 +45,9 @@ serve::ServeRequest make_req(const serve::ModelSpec& spec, int nodes, int dpn,
                              std::int64_t batch) {
   serve::ServeRequest r;
   r.model = spec;
-  r.cfg.cluster.num_nodes = nodes;
-  r.cfg.cluster.devices_per_node = dpn;
-  r.cfg.batch_size = batch;
+  r.search.cluster.num_nodes = nodes;
+  r.search.cluster.devices_per_node = dpn;
+  r.search.batch_size = batch;
   return r;
 }
 

@@ -24,9 +24,9 @@ int main(int argc, char** argv) {
               bm.graph.num_tasks(), bm.graph.num_values(),
               static_cast<double>(bm.graph.num_params()) / 1e9);
 
-  PartitionConfig cfg;
-  cfg.batch_size = BS;  // default cluster = paper testbed
-  PartitionResult plan = auto_partition(bm.graph, cfg);
+  SearchRequest req;
+  req.batch_size = BS;  // default cluster = paper testbed
+  PartitionResult plan = auto_partition(bm.graph, req).plan;
 
   std::printf("== RaNNC automatic plan ==\n%s", describe(plan).c_str());
   std::printf(
@@ -46,10 +46,10 @@ int main(int argc, char** argv) {
     else
       std::printf("  %-14s %s\n", p.framework.c_str(), p.reason.c_str());
   };
-  report(plan_data_parallel(bm, cfg.cluster, Precision::FP32, BS));
-  report(plan_megatron(bm, cfg.cluster, Precision::FP32, BS));
-  report(plan_gpipe_hybrid(bm, cfg.cluster, BS));
-  report(plan_pipedream_2bw(bm, cfg.cluster, BS));
+  report(plan_data_parallel(bm, req.cluster, Precision::FP32, BS));
+  report(plan_megatron(bm, req.cluster, Precision::FP32, BS));
+  report(plan_gpipe_hybrid(bm, req.cluster, BS));
+  report(plan_pipedream_2bw(bm, req.cluster, BS));
   if (plan.feasible)
     std::printf("  %-14s %8.1f samples/s\n", "RaNNC", plan.throughput(BS));
   return 0;

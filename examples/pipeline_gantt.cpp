@@ -18,12 +18,12 @@ int main(int argc, char** argv) {
   std::printf("GPT-2: %zu tasks, %.0fM parameters\n", gm.graph.num_tasks(),
               static_cast<double>(gm.graph.num_params()) / 1e6);
 
-  PartitionConfig cfg;
-  cfg.cluster = ClusterSpec{}.single_node();
+  SearchRequest req;
+  req.cluster = ClusterSpec{}.single_node();
   // Shrink device memory so the partitioner must pipeline GPT-2 small.
-  cfg.cluster.device.memory_bytes = 2LL << 30;
-  cfg.batch_size = 64;
-  PartitionResult plan = auto_partition(gm.graph, cfg);
+  req.cluster.device.memory_bytes = 2LL << 30;
+  req.batch_size = 64;
+  PartitionResult plan = auto_partition(gm.graph, req).plan;
   if (!plan.feasible) {
     std::printf("infeasible: %s\n", plan.infeasible_reason.c_str());
     return 1;

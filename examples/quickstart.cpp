@@ -25,13 +25,13 @@ int main() {
 
   // 2. Partition automatically for a small cluster. We shrink the device
   //    memory so the model cannot fit on one device — RaNNC must pipeline.
-  PartitionConfig cfg;
-  cfg.cluster.num_nodes = 1;
-  cfg.cluster.devices_per_node = 4;
-  cfg.cluster.device.memory_bytes = 5 * model.graph.num_params() * 4;  // > model state, < state + activations
-  cfg.batch_size = 32;
-  cfg.num_blocks = 8;
-  PartitionResult plan = auto_partition(model.graph, cfg);
+  SearchRequest req;
+  req.cluster.num_nodes = 1;
+  req.cluster.devices_per_node = 4;
+  req.cluster.device.memory_bytes = 5 * model.graph.num_params() * 4;  // > model state, < state + activations
+  req.batch_size = 32;
+  req.num_blocks = 8;
+  PartitionResult plan = auto_partition(model.graph, req).plan;
   if (!plan.feasible) {
     std::printf("infeasible: %s\n", plan.infeasible_reason.c_str());
     return 1;

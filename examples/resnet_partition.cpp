@@ -20,10 +20,10 @@ int main(int argc, char** argv) {
               static_cast<long long>(rc.width_factor), rm.graph.num_tasks(),
               static_cast<double>(rm.graph.num_params()) / 1e9);
 
-  PartitionConfig cfg;
-  cfg.cluster = ClusterSpec{}.single_node();  // torchgpipe's setting
-  cfg.batch_size = BS;
-  PartitionResult plan = auto_partition(rm.graph, cfg);
+  SearchRequest req;
+  req.cluster = ClusterSpec{}.single_node();  // torchgpipe's setting
+  req.batch_size = BS;
+  PartitionResult plan = auto_partition(rm.graph, req).plan;
   std::printf("== RaNNC automatic plan (1 node, 8 GPUs) ==\n%s\n",
               describe(plan).c_str());
 
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     std::printf("bubble fraction: %.1f%%\n\n", 100 * sched.bubble_fraction);
   }
 
-  const BaselinePlan gp = plan_gpipe_model(rm, cfg.cluster, BS, 64);
+  const BaselinePlan gp = plan_gpipe_model(rm, req.cluster, BS, 64);
   if (gp.feasible)
     std::printf("GPipe-Model (manual 8-stage balance, 64 microbatches): "
                 "%.1f samples/s\nRaNNC:                                   "

@@ -22,13 +22,13 @@ int main(int argc, char** argv) {
   mc.batch = 8;
   BuiltModel model = build_mlp(mc);
 
-  PartitionConfig cfg;
-  cfg.cluster.num_nodes = 1;
-  cfg.cluster.devices_per_node = 3;
-  cfg.cluster.device.memory_bytes = 5 * model.graph.num_params() * 4;  // > model state, < state + activations
-  cfg.batch_size = 16;
-  cfg.num_blocks = 6;
-  PartitionResult plan = auto_partition(model.graph, cfg);
+  SearchRequest req;
+  req.cluster.num_nodes = 1;
+  req.cluster.devices_per_node = 3;
+  req.cluster.device.memory_bytes = 5 * model.graph.num_params() * 4;  // > model state, < state + activations
+  req.batch_size = 16;
+  req.num_blocks = 6;
+  PartitionResult plan = auto_partition(model.graph, req).plan;
   if (!plan.feasible) {
     std::printf("infeasible: %s\n", plan.infeasible_reason.c_str());
     return 1;

@@ -53,6 +53,8 @@ enum class DiagCode : std::uint8_t {
   BadThreadCount,         ///< threads < 0 (0 = env default is valid)
   BadBlockCount,          ///< num_blocks < 1
   EmptyCluster,           ///< cluster has no nodes or no devices per node
+  BadShardCount,          ///< SearchRequest shard count < 1 (or absurd)
+  BadCellBudget,          ///< SearchRequest max_dp_cells < 0
 };
 
 const char* severity_name(Severity s);

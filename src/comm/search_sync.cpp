@@ -1,0 +1,46 @@
+#include "comm/search_sync.h"
+
+#include <numeric>
+
+namespace rannc {
+namespace comm {
+
+namespace {
+
+ClusterSpec searcher_cluster(int ranks) {
+  ClusterSpec spec;
+  spec.num_nodes = ranks;
+  spec.devices_per_node = 1;
+  return spec;
+}
+
+}  // namespace
+
+SearchSync::SearchSync(int ranks)
+    : fabric_(searcher_cluster(ranks < 1 ? 1 : ranks)),
+      ring_(static_cast<std::size_t>(ranks < 1 ? 1 : ranks)) {
+  std::iota(ring_.begin(), ring_.end(), 0);
+}
+
+double SearchSync::allreduce_min() {
+  ++rounds_;
+  if (ring_.size() < 2) return 0;  // single rank: the barrier is free
+  const double t0 = fabric_.max_clock();
+  const double t1 = fabric_.ring_allreduce(ring_, sizeof(double));
+  const double dt = t1 - t0;
+  total_ += dt;
+  return dt;
+}
+
+double SearchSync::allgather_winner() {
+  if (ring_.size() < 2) return 0;
+  const double t0 = fabric_.max_clock();
+  // Winner id: (job index, estimate) — 16 bytes per rank.
+  const double t1 = fabric_.allgather(ring_, 16);
+  const double dt = t1 - t0;
+  total_ += dt;
+  return dt;
+}
+
+}  // namespace comm
+}  // namespace rannc

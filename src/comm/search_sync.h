@@ -1,0 +1,49 @@
+// Incumbent synchronization for the sharded partition search (PR 10).
+//
+// The sharded search deals sweep jobs to K simulated searcher ranks; at
+// every round barrier the ranks agree on the new incumbent estimate, and
+// once at the end they agree on the winner. SearchSync models that control
+// plane as a K-node x 1-device cluster over the discrete-event fabric
+// (comm/fabric.h), so the synchronization overhead the real distributed
+// searcher would pay is accounted in *virtual* seconds — deterministic at
+// any host thread count — without emitting any trace events that could
+// perturb the search's own observability output.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/fabric.h"
+
+namespace rannc {
+namespace comm {
+
+class SearchSync {
+ public:
+  /// A searcher cluster of `ranks` single-device nodes on commodity
+  /// interconnect (the search control plane is tiny; topology barely
+  /// matters, determinism does).
+  explicit SearchSync(int ranks);
+
+  [[nodiscard]] int ranks() const { return static_cast<int>(ring_.size()); }
+
+  /// One round barrier: every rank contributes its round-best estimate and
+  /// receives the global min — a ring allreduce of one double. Returns the
+  /// virtual seconds the barrier took; also accumulated in total_seconds().
+  double allreduce_min();
+
+  /// Final merge: each rank publishes its local winner id (job index +
+  /// estimate, 16 bytes) to all others. Returns virtual seconds.
+  double allgather_winner();
+
+  [[nodiscard]] int rounds() const { return rounds_; }
+  [[nodiscard]] double total_seconds() const { return total_; }
+
+ private:
+  Fabric fabric_;
+  std::vector<Rank> ring_;
+  int rounds_ = 0;
+  double total_ = 0;
+};
+
+}  // namespace comm
+}  // namespace rannc

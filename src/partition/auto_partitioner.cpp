@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -13,12 +14,15 @@
 #include <sstream>
 #include <tuple>
 
+#include "analysis/dataflow.h"
 #include "analysis/verifier.h"
 #include "comm/oracle.h"
+#include "comm/search_sync.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "partition/atomic.h"
 #include "partition/profile_memo.h"
+#include "partition/search.h"
 #include "util/thread_pool.h"
 
 namespace rannc {
@@ -321,16 +325,16 @@ std::vector<Diagnostic> PartitionConfig::validate() const {
   return ds;
 }
 
-PartitionResult auto_partition(const TaskGraph& model,
-                               const PartitionConfig& cfg) {
+SearchResult auto_partition(const TaskGraph& model, const SearchRequest& req) {
   const auto t0 = std::chrono::steady_clock::now();
-  PartitionResult res;
+  SearchResult out;
+  PartitionResult& res = out.plan;
   obs::Scope sc_all("auto_partition");
 
-  // Configuration gate, symmetric with the graph verifier below: reject
-  // nonsense knobs with every violation listed, not just the first.
-  if (std::vector<Diagnostic> ds = cfg.validate(); has_errors(ds))
-    throw std::invalid_argument("invalid PartitionConfig:\n" + render(ds));
+  // Request gate, symmetric with the graph verifier below: reject nonsense
+  // knobs with every violation listed, not just the first.
+  if (std::vector<Diagnostic> ds = req.validate(); has_errors(ds))
+    throw std::invalid_argument("invalid SearchRequest:\n" + render(ds));
 
   // Static-analysis gate (src/analysis): a malformed graph or a builder
   // shape bug silently skews the roofline profile, block balance and stage
@@ -348,22 +352,64 @@ PartitionResult auto_partition(const TaskGraph& model,
     ap = std::make_shared<AtomicPartition>(atomic_partition(model));
     sc.arg("components", ap->comps.size());
   }
-  GraphProfiler prof(ap->graph, cfg.cluster.device, cfg.precision);
+  GraphProfiler prof(ap->graph, req.cluster.device, req.precision);
   res.stats.atomic_components = ap->comps.size();
   res.stats.cloned_constant_tasks = ap->num_cloned_tasks;
 
-  const std::int64_t M = cfg.usable_memory();
-  const std::int64_t BS = cfg.batch_size;
-  const int N_nodes = cfg.cluster.num_nodes;
-  const int Dnode = cfg.cluster.devices_per_node;
+  const std::int64_t M = req.usable_memory();
+  const std::int64_t BS = req.batch_size;
+  const int N_nodes = req.cluster.num_nodes;
+  const int Dnode = req.cluster.devices_per_node;
+
+  // Global fast-infeasibility precheck from src/analysis facts: every
+  // partition replicates the full parameter state across each pipeline, so
+  // the busiest device of the largest pipeline (R = 1, D = total devices)
+  // holds at least total_state / D bytes; on a single device the liveness
+  // peak of the dataflow analysis additionally lower-bounds activations
+  // (no pipelining, no checkpointing, microbatch >= 1). Both floors are
+  // admissible w.r.t. the stage_memory model, so tripping one proves every
+  // (n, S, MB) job infeasible without profiling a single DP cell.
+  if (req.prune.enabled && req.prune.memory_bounds) {
+    ProfileResult state;
+    for (const Value& v : ap->graph.values()) {
+      if (v.kind == ValueKind::Param) {
+        state.num_params += v.shape.numel();
+        state.param_bytes += v.bytes();
+      }
+    }
+    const std::int64_t state_total =
+        stage_memory(state, req.precision, req.optimizer, 1, false).total();
+    const int D_total = req.cluster.total_devices();
+    std::int64_t floor = state_total / D_total;
+    if (D_total == 1)
+      floor += static_cast<std::int64_t>(
+          static_cast<double>(peak_activation_bytes(ap->graph)) *
+          prof.act_factor());
+    obs::metrics().gauge("partition.precheck_floor_bytes")
+        .set(static_cast<double>(floor));
+    if (floor > M) {
+      res.graph = std::shared_ptr<const TaskGraph>(ap, &ap->graph);
+      res.feasible = false;
+      res.infeasible_reason =
+          "precheck: at least " + std::to_string(floor) +
+          " bytes/device of model state, only " + std::to_string(M) +
+          " usable";
+      res.stats.threads_used = resolve_search_threads(req.budget.threads);
+      res.stats.shards_used = req.shard.shards;
+      res.stats.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      return out;
+    }
+  }
 
   // Phase 2: block-level partitioning (skipped by the ablation variant).
   std::vector<std::vector<TaskId>> unit_tasks;
   {
     obs::Scope sc("phase2:block_partition");
-    if (cfg.use_coarsening) {
+    if (req.use_coarsening) {
       BlockPartitionConfig bcfg;
-      bcfg.k = cfg.num_blocks;
+      bcfg.k = req.num_blocks;
       bcfg.device_memory = M;
       // Balance blocks at the smallest microbatch size a stage replica can
       // see. Per-op overheads weigh most at batch 1, so blocks equalized
@@ -389,38 +435,41 @@ PartitionResult auto_partition(const TaskGraph& model,
   }
 
   UnitSequence seq(*ap, prof, std::move(unit_tasks),
-                   /*standalone=*/!cfg.use_coarsening);
+                   /*standalone=*/!req.use_coarsening);
   const RangeProfileFn search_fn =
-      make_profile_fn(seq, prof, cfg.cluster, cfg.precision, cfg.optimizer,
-                      /*summed_estimates=*/!cfg.use_coarsening);
+      make_profile_fn(seq, prof, req.cluster, req.precision, req.optimizer,
+                      /*summed_estimates=*/!req.use_coarsening);
   // The final plan is always evaluated with merged-profile semantics: the
   // ablation variant *searches* with summed estimates but physically runs
   // the merged stages (Section IV-C). When coarsening is on, the search
   // sequence already uses merged semantics and is reused directly.
   std::vector<std::vector<TaskId>> unit_copy;
-  if (!cfg.use_coarsening) {
+  if (!req.use_coarsening) {
     unit_copy.reserve(static_cast<std::size_t>(seq.size()));
     for (int i = 0; i < seq.size(); ++i) unit_copy.push_back(seq.unit(i));
   }
   const UnitSequence eval_seq_storage =
-      cfg.use_coarsening
+      req.use_coarsening
           ? UnitSequence(*ap, prof, {}, false)
           : UnitSequence(*ap, prof, std::move(unit_copy), false);
-  const UnitSequence& eval_seq = cfg.use_coarsening ? seq : eval_seq_storage;
+  const UnitSequence& eval_seq = req.use_coarsening ? seq : eval_seq_storage;
   const RangeProfileFn eval_fn =
-      cfg.use_coarsening
+      req.use_coarsening
           ? search_fn
-          : make_profile_fn(eval_seq, prof, cfg.cluster, cfg.precision,
-                            cfg.optimizer, /*summed_estimates=*/false);
+          : make_profile_fn(eval_seq, prof, req.cluster, req.precision,
+                            req.optimizer, /*summed_estimates=*/false);
 
-  // Phase 3: Algorithm 2 (form_stage), dispatched as a parallel, memoized
-  // sweep. Every (S, MB) pair of a node group is an independent stage-DP
-  // invocation; they run on a pool sized by cfg.threads, share one
-  // StageProfile memo and (when set) one atomic cell budget, and are
-  // aggregated in job order so the result is bit-identical at any thread
-  // count.
-  const int threads = resolve_search_threads(cfg.threads);
+  // Phase 3: Algorithm 2 (form_stage), dispatched as a parallel, memoized,
+  // branch-and-bound sweep. Every (S, MB) pair of a node group is an
+  // independent stage-DP invocation; they run on a pool sized by
+  // budget.threads, share one StageProfile memo, one incumbent-cost channel
+  // and (when set) one atomic cell budget, and are aggregated in job order
+  // so the resulting *plan* is bit-identical at any thread count, any shard
+  // count, and pruned vs exhaustive (docs/ALGORITHMS.md §13).
+  const int threads = resolve_search_threads(req.budget.threads);
+  const int shards = req.shard.shards;
   res.stats.threads_used = threads;
+  res.stats.shards_used = shards;
   const auto t_search0 = std::chrono::steady_clock::now();
 
   {
@@ -431,15 +480,15 @@ PartitionResult auto_partition(const TaskGraph& model,
   ProfileMemo* memo = nullptr;
   RangeProfileFn sweep_fn = search_fn;
   std::int64_t memo_h0 = 0, memo_m0 = 0;
-  if (cfg.shared_memo) {
+  if (req.shared_memo) {
     // Warm restart: reuse a prior run's cache, count only this run's
     // lookups so the hit rate of the restart is observable.
-    memo = cfg.shared_memo.get();
+    memo = req.shared_memo.get();
     memo->set_base(search_fn);
     memo_h0 = memo->hits();
     memo_m0 = memo->misses();
     sweep_fn = memo->fn();
-  } else if (cfg.profile_memo) {
+  } else if (req.profile_memo) {
     local_memo.emplace(search_fn);
     memo = &*local_memo;
     sweep_fn = memo->fn();
@@ -448,6 +497,47 @@ PartitionResult auto_partition(const TaskGraph& model,
   if (threads > 1)
     pool = std::make_unique<ThreadPool>(static_cast<unsigned>(threads - 1));
   std::atomic<std::int64_t> shared_cells{0};
+
+  // Branch-and-bound state shared by the whole sweep.
+  const bool prune_on = req.prune.enabled;
+  const bool use_mem_bounds = prune_on && req.prune.memory_bounds;
+  const bool use_time_bounds = prune_on && req.prune.compute_bounds;
+  const bool use_incumbent = prune_on && req.prune.incumbent;
+  // Best iteration estimate published so far, as the bit pattern of a
+  // positive double (IEEE order matches uint64 order, so CAS-min works on
+  // the integer view).
+  std::atomic<std::uint64_t> incumbent{
+      std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity())};
+  std::atomic<std::int64_t> incumbent_updates{0};
+  std::atomic<std::int64_t> jobs_pruned{0};
+  // Sharded mode (shards > 1): jobs are dealt to simulated searcher ranks
+  // in rounds of `shards`; the incumbent advances only at the round
+  // barrier, where the ranks exchange round-best estimates over the
+  // simulated fabric (comm::SearchSync accrues the virtual cost). Freezing
+  // the incumbent within a round makes every prune counter deterministic
+  // at any thread count for a fixed shard count; with shards == 1 the
+  // incumbent is live (CAS-min on job completion), which prunes harder but
+  // leaves the counters scheduling-dependent. The plan is identical under
+  // both modes.
+  std::optional<comm::SearchSync> sync;
+  if (shards > 1) sync.emplace(shards);
+  const auto publish_est = [&](double est) {
+    if (!use_incumbent || shards > 1) return;
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(est);
+    std::uint64_t cur = incumbent.load(std::memory_order_relaxed);
+    while (est < std::bit_cast<double>(cur)) {
+      if (incumbent.compare_exchange_weak(cur, bits,
+                                          std::memory_order_relaxed)) {
+        incumbent_updates.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  };
+  struct JobBounds {
+    std::int64_t bsize_min = 1;  ///< smallest reachable per-replica microbatch
+    double job_lb = 0;           ///< admissible floor on the job's bottleneck V
+    std::vector<double> suffix;  ///< suffix[b]: V floor past unit b (size N+1)
+  };
 
   bool aborted = false;
   Candidate best;
@@ -474,9 +564,65 @@ PartitionResult auto_partition(const TaskGraph& model,
       for (int MB = 1; MB <= BS / R; MB *= 2) jobs.push_back({S, MB});
     std::vector<StageDpSolution> sols(jobs.size());
     std::vector<double> ests(jobs.size(), 0);
+    std::vector<char> skipped(jobs.size(), 0);
 
-    const auto run_job = [&](std::int64_t i) {
-      const SweepJob& j = jobs[static_cast<std::size_t>(i)];
+    // Admissible per-job lower bounds (docs/ALGORITHMS.md §13). Every DP
+    // cell of job (S, MB) profiles at a per-replica microbatch >=
+    // bsize_min = BS / R / MB / (D - S + 1) (integer division is antitone
+    // in stage_devs, which maxes out at D - S + 1), and times/memory are
+    // monotone in the microbatch, so the profile at bsize_min floors every
+    // reachable profile. Unit time floors come from the compute prefix
+    // sums alone — the comm terms depend on the enclosing range's
+    // boundaries, so only their nonnegativity is used (dropped).
+    std::vector<JobBounds> jb(jobs.size());
+    if (use_mem_bounds || use_time_bounds) {
+      const int NU = seq.size();
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SweepJob& j = jobs[i];
+        jb[i].bsize_min =
+            std::max<std::int64_t>(1, BS / R / j.MB / (D - j.S + 1));
+        if (!use_time_bounds) continue;
+        const auto& tp = seq.times(jb[i].bsize_min);
+        jb[i].suffix.assign(static_cast<std::size_t>(NU) + 1, 0.0);
+        double total = 0;
+        for (int u = NU - 1; u >= 0; --u) {
+          const double f = tp.f[static_cast<std::size_t>(u) + 1] -
+                           tp.f[static_cast<std::size_t>(u)];
+          const double bb = tp.b[static_cast<std::size_t>(u) + 1] -
+                            tp.b[static_cast<std::size_t>(u)];
+          // Any stage containing unit u spends at least the unit's own
+          // compute, plus its checkpoint recompute when the merged-profile
+          // semantics apply (matches make_profile_fn).
+          const double ub =
+              f + bb + (j.S > 1 && req.use_coarsening ? f : 0.0);
+          total += ub;
+          jb[i].suffix[static_cast<std::size_t>(u)] =
+              std::max(jb[i].suffix[static_cast<std::size_t>(u) + 1], ub);
+        }
+        // Bottleneck floor: some stage contains the worst unit, and the
+        // busiest of S stages carries at least 1/S of the total compute.
+        jb[i].job_lb =
+            std::max(jb[i].suffix[0], total / static_cast<double>(j.S));
+      }
+    }
+
+    const auto run_job = [&](std::int64_t idx_) {
+      const std::size_t i = static_cast<std::size_t>(idx_);
+      const SweepJob& j = jobs[i];
+      // GPipe's flush serializes the bottleneck stage's MB forwards and MB
+      // backwards, so any solution's estimate is >= MB * V; a job whose V
+      // floor already loses to the incumbent cannot produce the winner
+      // (strictly — ties survive) and is skipped whole.
+      const double est_scale = static_cast<double>(j.MB);
+      if (use_incumbent && use_time_bounds) {
+        const double I = std::bit_cast<double>(
+            incumbent.load(std::memory_order_relaxed));
+        if (est_scale * jb[i].job_lb > I) {
+          skipped[i] = 1;
+          jobs_pruned.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
       obs::Scope sc(
           [&] {
             return "job n=" + std::to_string(n) +
@@ -492,39 +638,107 @@ PartitionResult auto_partition(const TaskGraph& model,
       in.replica_factor = R;
       in.microbatches = j.MB;
       in.device_memory = M;
-      in.max_cells = cfg.max_dp_cells;
-      in.shared_cells = cfg.max_dp_cells > 0 ? &shared_cells : nullptr;
-      in.reuse_equal_stage_devs = cfg.profile_memo || cfg.shared_memo != nullptr;
+      in.max_cells = req.budget.max_dp_cells;
+      in.shared_cells = req.budget.max_dp_cells > 0 ? &shared_cells : nullptr;
+      in.reuse_equal_stage_devs =
+          req.profile_memo || req.shared_memo != nullptr;
       in.profile = sweep_fn;
+      if (prune_on) {
+        in.prune_structural = true;
+        if (use_mem_bounds || use_time_bounds) {
+          const std::int64_t bmin = jb[i].bsize_min;
+          const int S = j.S;
+          const int MB = j.MB;
+          const bool times = use_time_bounds;
+          in.bound = [&sweep_fn, bmin, MB, S, times](int lo,
+                                                     int hi) -> StageBound {
+            const StageProfile p = sweep_fn(lo, hi, bmin, MB, S);
+            return {times ? p.t_f + p.t_b : 0.0, p.mem};
+          };
+          in.prune_memory = use_mem_bounds;
+        }
+        if (use_incumbent) {
+          in.incumbent = &incumbent;
+          in.est_scale = est_scale;
+          if (use_time_bounds) {
+            in.suffix_bound = jb[i].suffix.data();
+            in.job_bound = jb[i].job_lb;
+          }
+        }
+      }
       StageDpSolution sol = form_stage_dp(in);
       sc.arg("feasible", static_cast<int>(sol.feasible));
       sc.arg("dp_cells", sol.dp_cells_visited);
       if (sol.feasible) {
-        ests[static_cast<std::size_t>(i)] =
-            estimate_iteration(seq, sweep_fn, cfg.cluster, cfg.precision,
-                               sol, BS, R, j.MB);
-        sc.arg("est_iter", ests[static_cast<std::size_t>(i)]);
+        ests[i] = estimate_iteration(seq, sweep_fn, req.cluster,
+                                     req.precision, sol, BS, R, j.MB);
+        sc.arg("est_iter", ests[i]);
+        publish_est(ests[i]);
       }
-      sols[static_cast<std::size_t>(i)] = std::move(sol);
+      sols[i] = std::move(sol);
     };
-    if (pool) {
-      pool->parallel_each(static_cast<std::int64_t>(jobs.size()), run_job);
+    if (shards <= 1) {
+      if (pool) {
+        pool->parallel_each(static_cast<std::int64_t>(jobs.size()), run_job);
+      } else {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+          run_job(static_cast<std::int64_t>(i));
+      }
     } else {
-      for (std::size_t i = 0; i < jobs.size(); ++i)
-        run_job(static_cast<std::int64_t>(i));
+      // Round-synchronized sharded search: job i belongs to searcher rank
+      // i % shards; each round runs one job per rank, then the ranks merge
+      // their round-best estimates (simulated ring allreduce) and the
+      // incumbent advances exactly once.
+      const std::size_t K = static_cast<std::size_t>(shards);
+      for (std::size_t r0 = 0; r0 < jobs.size(); r0 += K) {
+        const std::size_t cnt = std::min(jobs.size() - r0, K);
+        if (pool) {
+          pool->parallel_each(
+              static_cast<std::int64_t>(cnt),
+              [&](std::int64_t k) { run_job(static_cast<std::int64_t>(r0) + k); });
+        } else {
+          for (std::size_t k = 0; k < cnt; ++k)
+            run_job(static_cast<std::int64_t>(r0 + k));
+        }
+        ++res.stats.prune.shard_rounds;
+        if (use_incumbent) {
+          double round_best = std::numeric_limits<double>::infinity();
+          for (std::size_t i = r0; i < r0 + cnt; ++i)
+            if (!skipped[i] && sols[i].feasible)
+              round_best = std::min(round_best, ests[i]);
+          res.stats.prune.shard_sync_seconds += sync->allreduce_min();
+          const double I = std::bit_cast<double>(
+              incumbent.load(std::memory_order_relaxed));
+          if (round_best < I) {
+            incumbent.store(std::bit_cast<std::uint64_t>(round_best),
+                            std::memory_order_relaxed);
+            incumbent_updates.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
     }
 
     // Serial aggregation in job (S, MB) order, independent of completion
     // order. The first strict est_iter minimum wins, which realizes the
     // deterministic (n, S, MB) tie-break: equal estimates resolve to the
-    // smallest stage count, then the fewest microbatches.
+    // smallest stage count, then the fewest microbatches. Pruned and
+    // dominated jobs never hold the winner (their estimates are provably
+    // strictly above it), so excluding them preserves the exhaustive
+    // engine's choice exactly.
     std::vector<Candidate> A;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (skipped[i]) continue;  // no DP ran
       StageDpSolution& sol = sols[i];
       res.stats.dp_cells_visited += sol.dp_cells_visited;
       res.stats.profile_queries += sol.profile_queries;
       res.stats.profile_queries_saved += sol.profile_queries_saved;
+      res.stats.prune.ranges_mem_pruned += sol.ranges_mem_pruned;
+      res.stats.prune.ranges_bound_pruned += sol.ranges_bound_pruned;
+      res.stats.prune.columns_pruned += sol.columns_pruned;
+      res.stats.prune.paths_pruned += sol.paths_pruned;
+      res.stats.prune.bound_queries += sol.bound_queries;
       ++res.stats.dp_invocations;
+      if (sol.dominated) ++res.stats.prune.jobs_dominated;
       if (sol.aborted) aborted = true;
     }
     if (aborted) {
@@ -535,6 +749,11 @@ PartitionResult auto_partition(const TaskGraph& model,
     }
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       StageDpSolution& sol = sols[i];
+      if (skipped[i] || sol.dominated) {
+        res.stats.candidates.push_back(
+            {n, jobs[i].S, jobs[i].MB, false, 0, true});
+        continue;
+      }
       if (!sol.feasible) {
         res.stats.candidates.push_back({n, jobs[i].S, jobs[i].MB, false, 0});
         continue;
@@ -560,6 +779,15 @@ PartitionResult auto_partition(const TaskGraph& model,
     }
   }
   sweep_scope.reset();
+  if (sync && res.stats.prune.shard_rounds > 0) {
+    // Deterministic winner merge: every rank already derives the same
+    // aggregation below from the synchronized estimates, so the final
+    // exchange is one allgather of the per-rank winner ids.
+    res.stats.prune.shard_sync_seconds += sync->allgather_winner();
+  }
+  res.stats.prune.jobs_pruned = jobs_pruned.load(std::memory_order_relaxed);
+  res.stats.prune.incumbent_updates =
+      incumbent_updates.load(std::memory_order_relaxed);
   // Defensive: candidates are pushed in (n, S, MB) order above; keep the
   // documented ordering guarantee even if a future refactor perturbs it.
   std::sort(res.stats.candidates.begin(), res.stats.candidates.end(),
@@ -598,6 +826,19 @@ PartitionResult auto_partition(const TaskGraph& model,
                static_cast<double>(lookups));
     m.gauge("partition.search_seconds").set(res.stats.search_seconds);
     m.gauge("partition.wall_seconds").set(res.stats.wall_seconds);
+    const PruneStats& ps = res.stats.prune;
+    m.counter("partition.prune.jobs_pruned").add(ps.jobs_pruned);
+    m.counter("partition.prune.jobs_dominated").add(ps.jobs_dominated);
+    m.counter("partition.prune.ranges_pruned").add(ps.ranges_pruned());
+    m.counter("partition.prune.columns_pruned").add(ps.columns_pruned);
+    m.counter("partition.prune.paths_pruned").add(ps.paths_pruned);
+    m.counter("partition.prune.bound_queries").add(ps.bound_queries);
+    m.counter("partition.prune.incumbent_updates").add(ps.incumbent_updates);
+    if (shards > 1) {
+      m.counter("partition.prune.shard_rounds").add(ps.shard_rounds);
+      m.gauge("partition.prune.shard_sync_seconds")
+          .set(ps.shard_sync_seconds);
+    }
     obs::Histogram& h = m.histogram("partition.candidate_est_iter");
     for (const CandidateTrace& c : res.stats.candidates)
       if (c.feasible) h.record(c.est_iteration);
@@ -608,7 +849,7 @@ PartitionResult auto_partition(const TaskGraph& model,
     res.feasible = false;
     res.infeasible_reason =
         aborted ? "search budget exceeded" : "no memory-feasible partition";
-    return res;
+    return out;
   }
 
   // Assemble the plan, re-profiled with merged semantics.
@@ -639,7 +880,7 @@ PartitionResult auto_partition(const TaskGraph& model,
     lo = hi;
   }
   res.est_iteration_time = estimate_iteration(
-      eval_seq, eval_fn, cfg.cluster, cfg.precision, best.sol, BS, best.R,
+      eval_seq, eval_fn, req.cluster, req.precision, best.sol, BS, best.R,
       best.MB);
   double mf = 0, mb = 0;
   for (const StagePlan& sp : res.stages) {
@@ -655,7 +896,17 @@ PartitionResult auto_partition(const TaskGraph& model,
     m.gauge("plan.est_iteration_time").set(res.est_iteration_time);
     m.gauge("plan.bottleneck_value").set(res.bottleneck_value);
   }
-  return res;
+  return out;
+}
+
+PartitionResult auto_partition(const TaskGraph& model,
+                               const PartitionConfig& cfg) {
+  // Preserve the legacy validation message for existing callers before
+  // bridging into the SearchRequest engine (pruning/sharding off, so the
+  // counters — not just the plan — match the pre-redesign behaviour).
+  if (std::vector<Diagnostic> ds = cfg.validate(); has_errors(ds))
+    throw std::invalid_argument("invalid PartitionConfig:\n" + render(ds));
+  return auto_partition(model, SearchRequest::from_config(cfg)).plan;
 }
 
 std::string describe(const PartitionResult& r) {

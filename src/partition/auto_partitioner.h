@@ -95,6 +95,33 @@ struct CandidateTrace {
   int microbatches = 0;
   bool feasible = false;
   double est_iteration = 0;  ///< 0 when infeasible
+  /// The branch-and-bound search proved this job dominated (its lower bound
+  /// exceeded the incumbent) and skipped or aborted its DP. Always false on
+  /// the exhaustive engine.
+  bool pruned = false;
+};
+
+/// Branch-and-bound accounting of one search (all zeros on the exhaustive
+/// engine). Like the cell/query totals, most of these depend on incumbent
+/// timing and are therefore scheduling-dependent at threads > 1 with live
+/// incumbent sharing (shards == 1); in sharded mode the incumbent advances
+/// only at round barriers, making every counter deterministic at any
+/// thread count for a fixed shard count.
+struct PruneStats {
+  std::int64_t jobs_pruned = 0;   ///< (S, MB) jobs skipped before their DP
+  std::int64_t jobs_dominated = 0;///< jobs aborted mid-DP by the incumbent
+  std::int64_t ranges_mem_pruned = 0;   ///< stage ranges cut by the memory floor
+  std::int64_t ranges_bound_pruned = 0; ///< ranges cut by the time lower bound
+  std::int64_t columns_pruned = 0; ///< DP columns cut (suffix bound / s==S)
+  std::int64_t paths_pruned = 0;   ///< prefix states dominated by the incumbent
+  std::int64_t bound_queries = 0;  ///< lower-bound evaluations
+  std::int64_t incumbent_updates = 0;  ///< successful incumbent lowerings
+  int shard_rounds = 0;            ///< synchronized rounds (sharded mode)
+  double shard_sync_seconds = 0;   ///< virtual fabric seconds spent syncing
+
+  [[nodiscard]] std::int64_t ranges_pruned() const {
+    return ranges_mem_pruned + ranges_bound_pruned;
+  }
 };
 
 struct SearchStats {
@@ -112,7 +139,10 @@ struct SearchStats {
   std::int64_t memo_hits = 0;
   std::int64_t memo_misses = 0;
   int dp_invocations = 0;
-  int threads_used = 1;      ///< resolved PartitionConfig::threads
+  int threads_used = 1;      ///< resolved SearchBudget::threads
+  int shards_used = 1;       ///< resolved ShardOptions::shards
+  /// Branch-and-bound counters (all zero on the exhaustive engine).
+  PruneStats prune;
   double wall_seconds = 0;   ///< whole auto_partition call
   double search_seconds = 0; ///< Phase-3 sweep only (subset of wall_seconds)
   /// Every (S, MB) examined, in deterministic (nodes, stages, microbatches)
@@ -152,11 +182,16 @@ struct PartitionResult {
   }
 };
 
-/// Runs the full RaNNC partitioning pipeline on `model`.
+/// Legacy entry point, kept as a thin shim over the SearchRequest engine
+/// (partition/search.h). Runs with pruning and sharding OFF — the exact
+/// PR 3 exhaustive semantics, so counter-sensitive consumers see unchanged
+/// behaviour. New code should build a SearchRequest and call
+/// auto_partition(graph, request) instead.
+[[deprecated("use auto_partition(graph, SearchRequest) from partition/search.h")]]
 PartitionResult auto_partition(const TaskGraph& model,
                                const PartitionConfig& cfg);
 
-/// Resolves PartitionConfig::threads: an explicit positive value wins,
+/// Resolves a search thread knob: an explicit positive value wins,
 /// else the RANNC_THREADS environment variable, else 1.
 int resolve_search_threads(int threads_knob);
 

@@ -11,7 +11,7 @@
 namespace rannc {
 
 std::vector<PlanViolation> validate_plan(const PartitionResult& plan,
-                                         const PartitionConfig& cfg) {
+                                         const SearchRequest& req) {
   std::vector<PlanViolation> out;
   auto fail = [&out](std::string what) { out.push_back({std::move(what)}); };
 
@@ -92,7 +92,7 @@ std::vector<PlanViolation> validate_plan(const PartitionResult& plan,
   int devices_used = 0;
   for (std::size_t s = 0; s < plan.stages.size(); ++s) {
     const StagePlan& sp = plan.stages[s];
-    if (sp.mem > cfg.usable_memory())
+    if (sp.mem > req.usable_memory())
       fail("stage " + std::to_string(s) + " exceeds the device memory budget");
     if (sp.devices < 1)
       fail("stage " + std::to_string(s) + " has no devices");
@@ -100,9 +100,14 @@ std::vector<PlanViolation> validate_plan(const PartitionResult& plan,
       fail("stage " + std::to_string(s) + " replica accounting is wrong");
     devices_used += sp.devices;
   }
-  if (devices_used * plan.pipelines > cfg.cluster.total_devices())
+  if (devices_used * plan.pipelines > req.cluster.total_devices())
     fail("plan uses more devices than the cluster has");
   return out;
+}
+
+std::vector<PlanViolation> validate_plan(const PartitionResult& plan,
+                                         const PartitionConfig& cfg) {
+  return validate_plan(plan, SearchRequest::from_config(cfg));
 }
 
 // ---- JSON writing -----------------------------------------------------------

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "partition/auto_partitioner.h"
+#include "partition/search.h"
 
 namespace rannc {
 
@@ -28,6 +29,11 @@ struct PlanViolation {
 ///  * device accounting is consistent (replicas = devices * pipelines,
 ///    total devices within the cluster).
 /// Returns the list of violations (empty = valid plan).
+std::vector<PlanViolation> validate_plan(const PartitionResult& plan,
+                                         const SearchRequest& req);
+
+/// Pre-PR-10 spelling; forwards through SearchRequest::from_config.
+[[deprecated("use validate_plan(plan, SearchRequest)")]]
 std::vector<PlanViolation> validate_plan(const PartitionResult& plan,
                                          const PartitionConfig& cfg);
 

@@ -1,0 +1,83 @@
+#include "partition/search.h"
+
+#include <string>
+
+namespace rannc {
+
+std::vector<Diagnostic> SearchRequest::validate() const {
+  std::vector<Diagnostic> ds;
+  const auto err = [&ds](DiagCode code, std::string msg) {
+    Diagnostic d;
+    d.severity = Severity::Error;
+    d.code = code;
+    d.message = std::move(msg);
+    ds.push_back(std::move(d));
+  };
+  if (batch_size <= 0)
+    err(DiagCode::BadBatchSize,
+        "batch_size must be positive, got " + std::to_string(batch_size));
+  if (!(memory_margin > 0.0) || memory_margin > 1.0)
+    err(DiagCode::BadMemoryMargin,
+        "memory_margin must be in (0, 1], got " +
+            std::to_string(memory_margin));
+  if (budget.threads < 0)
+    err(DiagCode::BadThreadCount,
+        "budget.threads must be >= 0 (0 = RANNC_THREADS env default), got " +
+            std::to_string(budget.threads));
+  if (budget.max_dp_cells < 0)
+    err(DiagCode::BadCellBudget,
+        "budget.max_dp_cells must be >= 0 (0 = unlimited), got " +
+            std::to_string(budget.max_dp_cells));
+  if (num_blocks < 1)
+    err(DiagCode::BadBlockCount,
+        "num_blocks must be >= 1, got " + std::to_string(num_blocks));
+  if (cluster.num_nodes < 1 || cluster.devices_per_node < 1)
+    err(DiagCode::EmptyCluster,
+        "cluster must have at least one node and one device per node, got " +
+            std::to_string(cluster.num_nodes) + " node(s) x " +
+            std::to_string(cluster.devices_per_node) + " device(s)");
+  if (shard.shards < 1 || shard.shards > 4096)
+    err(DiagCode::BadShardCount,
+        "shard.shards must be in [1, 4096], got " +
+            std::to_string(shard.shards));
+  return ds;
+}
+
+SearchRequest SearchRequest::from_config(const PartitionConfig& cfg) {
+  SearchRequest req;
+  req.cluster = cfg.cluster;
+  req.precision = cfg.precision;
+  req.optimizer = cfg.optimizer;
+  req.batch_size = cfg.batch_size;
+  req.num_blocks = cfg.num_blocks;
+  req.memory_margin = cfg.memory_margin;
+  req.use_coarsening = cfg.use_coarsening;
+  req.profile_memo = cfg.profile_memo;
+  req.shared_memo = cfg.shared_memo;
+  req.budget.max_dp_cells = cfg.max_dp_cells;
+  req.budget.threads = cfg.threads;
+  // Legacy semantics: the PartitionConfig surface predates the
+  // branch-and-bound engine, so the bridge reproduces the exhaustive sweep
+  // (identical plans either way; identical counters only this way).
+  req.prune.enabled = false;
+  req.shard.shards = 1;
+  return req;
+}
+
+PartitionConfig SearchRequest::to_config() const {
+  PartitionConfig cfg;
+  cfg.cluster = cluster;
+  cfg.precision = precision;
+  cfg.optimizer = optimizer;
+  cfg.batch_size = batch_size;
+  cfg.num_blocks = num_blocks;
+  cfg.memory_margin = memory_margin;
+  cfg.use_coarsening = use_coarsening;
+  cfg.profile_memo = profile_memo;
+  cfg.shared_memo = shared_memo;
+  cfg.max_dp_cells = budget.max_dp_cells;
+  cfg.threads = budget.threads;
+  return cfg;
+}
+
+}  // namespace rannc

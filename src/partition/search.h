@@ -1,0 +1,129 @@
+// The partition-search request/result API (PR 10).
+//
+// `SearchRequest` replaces the flat PartitionConfig knob bag with a typed
+// request in three layers: what to partition for (cluster, precision,
+// optimizer, global batch), how hard to look (SearchBudget), and how the
+// branch-and-bound sweep may cut work (PruneOptions) or split across
+// simulated searcher ranks (ShardOptions). `SearchResult` pairs the winning
+// plan with the search statistics, including the prune counters.
+//
+// Invariant inherited from PR 3 and extended here: the returned *plan* is
+// bit-identical across every thread count, every shard count, and pruned
+// vs exhaustive mode. Pruning uses admissible lower bounds and strictly
+// dominated cuts only (see docs/ALGORITHMS.md §13), so it can never remove
+// the winner or perturb the deterministic (n, S, MB) tie-break; only the
+// work counters (cells visited, queries, prune totals) change.
+//
+// The legacy auto_partition(PartitionConfig) entry point survives as a
+// deprecated shim that runs the exhaustive engine (SearchRequest::
+// from_config turns pruning off), so existing callers keep their exact
+// counters while they migrate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "cluster/cluster_spec.h"
+#include "partition/auto_partitioner.h"
+#include "profiler/memory.h"
+
+namespace rannc {
+
+class ProfileMemo;
+
+/// Which branch-and-bound cuts the sweep may take. Every cut preserves the
+/// winning plan exactly; the sub-switches exist so benchmarks and tests can
+/// attribute the savings (and reproduce the exhaustive engine with
+/// `enabled = false`).
+struct PruneOptions {
+  bool enabled = true;  ///< master switch; false = PR 3 exhaustive sweep
+  /// Skip stage ranges whose memory floor (profiled at the smallest
+  /// reachable per-replica microbatch) already exceeds device memory.
+  bool memory_bounds = true;
+  /// Roofline + comm lower bounds: per-job, per-column and per-range time
+  /// floors compared against the incumbent.
+  bool compute_bounds = true;
+  /// Share the best-so-far iteration estimate across the (S, MB) sweep so
+  /// dominated jobs are skipped or abort mid-DP.
+  bool incumbent = true;
+};
+
+/// Sharded search: the sweep's jobs are dealt round-robin to `shards`
+/// simulated searcher ranks which synchronize incumbents at round barriers
+/// over the comm fabric (comm/search_sync.h). Plans are bit-identical to
+/// the single-rank search; the barriers make every work counter
+/// deterministic at any thread count for a fixed shard count.
+struct ShardOptions {
+  int shards = 1;  ///< simulated searcher ranks; 1 = local (live incumbent)
+};
+
+/// How much work the search may spend.
+struct SearchBudget {
+  /// Global DP cell cap shared by every stage-DP invocation of the sweep
+  /// (0 = unlimited); exceeding it aborts the whole search, deterministic
+  /// in whether-but-not-where it triggers (see PartitionConfig::max_dp_cells).
+  std::int64_t max_dp_cells = 0;
+  /// Worker threads for the sweep. 0 = RANNC_THREADS env, else 1.
+  int threads = 0;
+};
+
+/// A complete, validated description of one partition search.
+struct SearchRequest {
+  ClusterSpec cluster;
+  Precision precision = Precision::FP32;
+  OptimizerKind optimizer = OptimizerKind::Adam;
+  std::int64_t batch_size = 256;  ///< global mini-batch BS
+  int num_blocks = 32;            ///< k for block-level partitioning
+  /// Fraction of device memory usable for model state.
+  double memory_margin = 0.9;
+  /// false selects the Section IV-C ablation (DP over atomic components).
+  bool use_coarsening = true;
+  /// Cross-DP StageProfile memoization (see PartitionConfig::profile_memo).
+  bool profile_memo = true;
+  /// Cross-run warm-start memo (see PartitionConfig::shared_memo); the
+  /// sharded search routes every shard through this one memo, so a serve
+  /// sibling-geometry donor warms all ranks.
+  std::shared_ptr<ProfileMemo> shared_memo;
+  SearchBudget budget;
+  PruneOptions prune;
+  ShardOptions shard;
+
+  [[nodiscard]] std::int64_t usable_memory() const {
+    return static_cast<std::int64_t>(
+        static_cast<double>(cluster.device.memory_bytes) * memory_margin);
+  }
+
+  /// Checks the request for obvious misuse; one diagnostic per violation
+  /// (stable DiagCodes: BadBatchSize, BadMemoryMargin, BadThreadCount,
+  /// BadBlockCount, EmptyCluster, BadShardCount, BadCellBudget). Empty
+  /// result = valid. auto_partition calls this at entry and throws
+  /// std::invalid_argument listing every error.
+  [[nodiscard]] std::vector<Diagnostic> validate() const;
+
+  /// Legacy bridge: lifts a PartitionConfig into a SearchRequest with
+  /// pruning and sharding OFF, reproducing the PR 3 exhaustive engine
+  /// (plans AND counters) exactly. Used by the deprecated shim.
+  static SearchRequest from_config(const PartitionConfig& cfg);
+
+  /// The flat legacy view (prune/shard options are dropped — they do not
+  /// affect the plan). Handy for APIs not yet migrated.
+  [[nodiscard]] PartitionConfig to_config() const;
+};
+
+/// The winning plan plus the search's accounting.
+struct SearchResult {
+  PartitionResult plan;
+
+  [[nodiscard]] bool feasible() const { return plan.feasible; }
+  [[nodiscard]] const SearchStats& stats() const { return plan.stats; }
+  [[nodiscard]] const PruneStats& prune() const { return plan.stats.prune; }
+};
+
+/// Runs the full RaNNC partitioning pipeline on `model` — the primary
+/// entry point. Branch-and-bound and sharding are governed by `req`;
+/// defaults give the pruned single-rank search.
+SearchResult auto_partition(const TaskGraph& model, const SearchRequest& req);
+
+}  // namespace rannc

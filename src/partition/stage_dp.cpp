@@ -1,6 +1,7 @@
 #include "partition/stage_dp.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -74,6 +75,29 @@ StageDpSolution form_stage_dp(const StageDpInput& in) {
     }
   };
 
+  // Incumbent channel: the best iteration estimate published by any job of
+  // the sweep so far. Re-read at the same batched cadence as the budget
+  // (one relaxed load per kFlush cells) plus once per column; a stale read
+  // only prunes less, never wrongly.
+  const bool use_inc = in.incumbent != nullptr && in.est_scale > 0;
+  double I = kInf;  // current incumbent estimate
+  const auto load_incumbent = [&] {
+    if (use_inc)
+      I = std::bit_cast<double>(in.incumbent->load(std::memory_order_relaxed));
+  };
+  load_incumbent();
+  std::int64_t cells_since_refresh = 0;
+
+  // Per-column cache of range lower bounds: bound(bp, b) is independent of
+  // (d, dp), but the bp loop re-runs for every d of the column.
+  const bool use_bound = static_cast<bool>(in.bound);
+  struct BoundEnt {
+    std::uint32_t epoch = 0;
+    StageBound b;
+  };
+  std::vector<BoundEnt> bcache;
+  if (use_bound) bcache.assign(static_cast<std::size_t>(N), BoundEnt{});
+
   // Per-(s, b) StageProfile reuse across equal stage_devs = d - dp: the
   // profile of range (bp, b] depends on (d, dp) only through stage_devs,
   // which the descending d loop would otherwise re-query for every d.
@@ -89,15 +113,76 @@ StageDpSolution form_stage_dp(const StageDpInput& in) {
   std::uint32_t epoch = 0;
 
   int d_min = 1;
+  // Set when any incumbent-dependent cut (column, range or path) skipped a
+  // candidate. From then on an infinite cell may be evidence of domination
+  // rather than of a memory failure — and infinities propagate through the
+  // prevV reads of later layers — so the d_min advancement below must stay
+  // off for the rest of the invocation to keep winner-path cells exact.
+  bool incumbent_cut_fired = false;
   for (int s = 1; s <= S; ++s) {
     for (int b = s; b <= N - S + s; ++b) {
+      // Structural cut: the answer reads only V[S][N][D], so the final
+      // layer's other columns (and, below, device counts) are dead work.
+      if (in.prune_structural && s == S && b != N) {
+        ++sol.columns_pruned;
+        continue;
+      }
       ++epoch;  // invalidates the (bp, stage_devs) profile cache
+      load_incumbent();
+      // Suffix cut: any completion of this column still places the units
+      // (b, N] in later stages, so its bottleneck V is at least
+      // suffix_bound[b]; strictly above the incumbent means no solution
+      // through this column can win or tie.
+      if (use_inc && in.suffix_bound && s < S &&
+          in.est_scale * in.suffix_bound[b] > I) {
+        ++sol.columns_pruned;
+        incumbent_cut_fired = true;
+        continue;
+      }
       for (int d = D - (S - s); d >= std::max(d_min, s); --d) {
         bool bsize_clipped = false;
         for (int bp = s - 1; bp <= b - 1; ++bp) {
+          if (use_bound) {
+            // Range cuts, cached per (column, bp): admissible floors on
+            // the candidate stage (bp, b] at ANY device count.
+            BoundEnt& be = bcache[static_cast<std::size_t>(bp)];
+            if (be.epoch != epoch) {
+              ++sol.bound_queries;
+              be.b = in.bound(bp, b);
+              be.epoch = epoch;
+            }
+            if (in.prune_memory && in.device_memory > 0 &&
+                be.b.mem > in.device_memory) {
+              // The memory floor (profiled at the smallest reachable
+              // microbatch) already overflows: no device count fits. Note
+              // the skipped candidates never set bsize_clipped, which
+              // keeps the d_min rule below sound — a range that fails its
+              // memory floor fails at every d, clipped or not.
+              ++sol.ranges_mem_pruned;
+              continue;
+            }
+            if (use_inc && in.est_scale * be.b.time > I) {
+              ++sol.ranges_bound_pruned;
+              incumbent_cut_fired = true;
+              continue;  // any solution using this stage is dominated
+            }
+          }
           for (int dp = s - 1; dp <= d - 1; ++dp) {
             ++sol.dp_cells_visited;
             ++unflushed_cells;
+            if (++cells_since_refresh >= kFlush) {
+              cells_since_refresh = 0;
+              load_incumbent();
+              if (use_inc && in.job_bound > 0 &&
+                  in.est_scale * in.job_bound > I) {
+                // A sibling's newly published incumbent dominates this
+                // whole invocation — abort it as pruned, not as a budget
+                // exhaustion.
+                sol.dominated = true;
+                flush_cells();
+                return sol;
+              }
+            }
             if (budget_exceeded()) {
               sol.aborted = true;
               flush_cells();
@@ -105,6 +190,11 @@ StageDpSolution form_stage_dp(const StageDpInput& in) {
             }
             const double prevV = V[idx(s - 1, bp, dp)];
             if (prevV == kInf) continue;  // previous stages infeasible
+            if (use_inc && in.est_scale * prevV > I) {
+              ++sol.paths_pruned;  // prefix alone already dominated
+              incumbent_cut_fired = true;
+              continue;
+            }
             const int stage_devs = d - dp;
             const std::int64_t bsize =
                 in.batch_size / in.replica_factor / in.microbatches /
@@ -146,13 +236,16 @@ StageDpSolution form_stage_dp(const StageDpInput& in) {
             }
           }
         }
-        if (V[idx(s, b, d)] == kInf && !bsize_clipped) {
+        if (V[idx(s, b, d)] == kInf && !bsize_clipped &&
+            !incumbent_cut_fired) {
           // No solution with d devices for memory reasons: fewer devices
           // only increase the per-replica batch (and therefore memory), so
           // no smaller d can succeed either (paper: d_min <- d + 1). The
           // prune must NOT fire when the failure was a microbatch clipped
           // to zero — that happens with too MANY devices and smaller d
-          // would succeed.
+          // would succeed — nor once any incumbent cut has skipped a
+          // candidate, since infinities may then mean domination rather
+          // than memory (see incumbent_cut_fired above).
           d_min = d + 1;
           break;
         }

@@ -29,6 +29,17 @@ struct StageProfile {
 using RangeProfileFn = std::function<StageProfile(
     int lo, int hi, std::int64_t bsize, int microbatches, int num_stages)>;
 
+/// Admissible lower bound for the candidate stage (lo, hi]: `time` must
+/// lower-bound t_f + t_b, and `mem` the replica memory, over EVERY device
+/// count the DP can assign the range (in practice: the profile at the
+/// smallest reachable per-replica microbatch — times and memory are
+/// monotone in the microbatch size, which shrinks as devices are added).
+struct StageBound {
+  double time = 0;
+  std::int64_t mem = 0;
+};
+using RangeBoundFn = std::function<StageBound(int lo, int hi)>;
+
 struct StageDpInput {
   int num_units = 0;           ///< |B|
   int num_stages = 0;          ///< S
@@ -59,11 +70,48 @@ struct StageDpInput {
   /// is identical either way.
   bool reuse_equal_stage_devs = true;
   RangeProfileFn profile;
+
+  // ---- branch-and-bound hooks (PR 10); all optional ---------------------
+  // Every cut below is *strict* (fires only when a lower bound exceeds the
+  // incumbent, never on equality) and every bound admissible, so the DP's
+  // returned solution is bit-identical to the exhaustive run whenever this
+  // invocation's optimum can still beat (or tie) the incumbent; invocations
+  // whose optimum is strictly dominated may return a worse or infeasible
+  // solution, which by construction cannot affect the sweep's winner.
+  /// Admissible per-range lower bound; null disables range-level pruning.
+  RangeBoundFn bound;
+  /// suffix_bound[b] lower-bounds the bottleneck V of any stage covering
+  /// units from the suffix (b, N] (max of per-unit bounds). Size N+1 when
+  /// set; used to cut whole (s, b) columns against the incumbent.
+  const double* suffix_bound = nullptr;
+  /// Best iteration estimate so far across the sweep, stored as the bit
+  /// pattern of a positive double (their IEEE order matches uint64 order).
+  /// Read-only here; null disables incumbent pruning.
+  const std::atomic<std::uint64_t>* incumbent = nullptr;
+  /// Any solution's iteration estimate satisfies est >= est_scale * V
+  /// (GPipe: the bottleneck stage serializes MB forwards + backwards, so
+  /// est_scale = microbatches).
+  double est_scale = 0;
+  /// Job-level V lower bound (max over suffix_bound[0..N-1]); re-checked at
+  /// the batched budget cadence so a job dominated by a sibling's newly
+  /// published incumbent aborts mid-DP (`dominated`).
+  double job_bound = 0;
+  /// Skip ranges whose `bound().mem` exceeds device_memory before the
+  /// (d, dp) loops run (memory is microbatch-monotone, so the floor is
+  /// admissible for every device count).
+  bool prune_memory = false;
+  /// Restrict the s == S layer to the only column/device count the answer
+  /// reads (b == N, d == D).
+  bool prune_structural = false;
 };
 
 struct StageDpSolution {
   bool feasible = false;
   bool aborted = false;  ///< search budget (max_cells) exhausted
+  /// Aborted because the incumbent proved this invocation cannot win
+  /// (est_scale * job_bound exceeded it mid-DP). Distinct from `aborted`:
+  /// a dominated job is a successful prune, not a budget exhaustion.
+  bool dominated = false;
   /// b_i: exclusive end-unit of stage i (stage i = units (b_{i-1}, b_i]).
   std::vector<int> stage_end;
   /// Devices (stage replicas within one pipeline) per stage: d_i - d_{i-1}.
@@ -76,6 +124,12 @@ struct StageDpSolution {
   std::int64_t profile_queries = 0;
   /// Queries avoided by the equal-stage_devs reuse (see StageDpInput).
   std::int64_t profile_queries_saved = 0;
+  // Branch-and-bound accounting (zero when the hooks are unset).
+  std::int64_t ranges_mem_pruned = 0;
+  std::int64_t ranges_bound_pruned = 0;
+  std::int64_t columns_pruned = 0;
+  std::int64_t paths_pruned = 0;
+  std::int64_t bound_queries = 0;
 };
 
 /// Algorithm 1 (form_stage_dp). Returns an infeasible solution when

@@ -47,6 +47,7 @@
 #include "models/built_model.h"
 #include "models/gpt2.h"
 #include "models/mlp.h"
+#include "models/moe.h"
 #include "models/resnet.h"
 #include "models/t5.h"
 
@@ -60,6 +61,7 @@
 #include "comm/fabric.h"
 #include "comm/fault.h"
 #include "comm/oracle.h"
+#include "comm/search_sync.h"
 #include "pipeline/schedule.h"
 
 // ---- partitioning ----------------------------------------------------------
@@ -68,6 +70,7 @@
 #include "partition/block.h"
 #include "partition/plan_io.h"
 #include "partition/profile_memo.h"
+#include "partition/search.h"
 #include "partition/stage_dp.h"
 
 // ---- baselines -------------------------------------------------------------

@@ -111,15 +111,15 @@ ShardMigration remap_shards(const PartitionResult& before,
 }
 
 RecoveryCoordinator::RecoveryCoordinator(const TaskGraph& model,
-                                         PartitionConfig cfg)
+                                         SearchRequest req)
     : model_(model),
-      cfg_(std::move(cfg)),
+      req_(std::move(req)),
       memo_(std::make_shared<ProfileMemo>()) {
-  cfg_.shared_memo = memo_;
+  req_.shared_memo = memo_;
 }
 
 const PartitionResult& RecoveryCoordinator::partition() {
-  plan_ = auto_partition(model_, cfg_);
+  plan_ = auto_partition(model_, req_).plan;
   have_plan_ = true;
   return plan_;
 }
@@ -137,16 +137,16 @@ RecoveryCoordinator::Outcome RecoveryCoordinator::recover(
 
   Outcome out;
   try {
-    out.cluster = shrink_cluster(cfg_.cluster, failed_ranks);
+    out.cluster = shrink_cluster(req_.cluster, failed_ranks);
   } catch (const std::invalid_argument& e) {
     out.reason = e.what();
     m.counter("resilience.recovery_failures").add(1);
     return out;
   }
 
-  PartitionConfig cfg2 = cfg_;
-  cfg2.cluster = out.cluster;
-  out.plan = auto_partition(model_, cfg2);
+  SearchRequest req2 = req_;
+  req2.cluster = out.cluster;
+  out.plan = auto_partition(model_, req2).plan;
   out.memo_hit_rate = out.plan.stats.memo_hit_rate();
   if (!out.plan.feasible) {
     out.reason = "no feasible plan on the shrunk cluster (" +
@@ -157,7 +157,7 @@ RecoveryCoordinator::Outcome RecoveryCoordinator::recover(
 
   out.migration = remap_shards(plan_, out.plan);
   out.ok = true;
-  cfg_ = std::move(cfg2);
+  req_ = std::move(req2);
   plan_ = out.plan;
 
   m.counter("resilience.recoveries").add(1);

@@ -23,6 +23,7 @@
 #include "graph/task_graph.h"
 #include "partition/auto_partitioner.h"
 #include "partition/profile_memo.h"
+#include "partition/search.h"
 
 namespace rannc {
 namespace resilience {
@@ -62,9 +63,9 @@ ShardMigration remap_shards(const PartitionResult& before,
 
 class RecoveryCoordinator {
  public:
-  /// `model` must outlive the coordinator. `cfg.shared_memo` is replaced
+  /// `model` must outlive the coordinator. `req.shared_memo` is replaced
   /// with a coordinator-owned memo so re-partitions run warm.
-  RecoveryCoordinator(const TaskGraph& model, PartitionConfig cfg);
+  RecoveryCoordinator(const TaskGraph& model, SearchRequest req);
 
   /// Runs the initial partition (populating the profile memo) and stores
   /// it as the active plan.
@@ -72,8 +73,8 @@ class RecoveryCoordinator {
 
   /// The active plan (initial, or the latest recovery's).
   [[nodiscard]] const PartitionResult& plan() const { return plan_; }
-  /// The active configuration (cluster shrinks across recoveries).
-  [[nodiscard]] const PartitionConfig& config() const { return cfg_; }
+  /// The active search request (cluster shrinks across recoveries).
+  [[nodiscard]] const SearchRequest& request() const { return req_; }
   [[nodiscard]] const std::shared_ptr<ProfileMemo>& memo() const {
     return memo_;
   }
@@ -97,7 +98,7 @@ class RecoveryCoordinator {
 
  private:
   const TaskGraph& model_;
-  PartitionConfig cfg_;
+  SearchRequest req_;
   std::shared_ptr<ProfileMemo> memo_;
   PartitionResult plan_;
   bool have_plan_ = false;

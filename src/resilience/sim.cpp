@@ -74,10 +74,10 @@ std::vector<std::string> boundary_channels(const PartitionResult& plan) {
 }  // namespace
 
 SimResult simulate_with_faults(const TaskGraph& model,
-                               const PartitionConfig& cfg,
+                               const SearchRequest& req,
                                const FaultPlan& faults,
                                const SimOptions& opts) {
-  RecoveryCoordinator coord(model, cfg);
+  RecoveryCoordinator coord(model, req);
   SimResult res;
   res.initial_plan = coord.partition();
   if (!res.initial_plan.feasible)
@@ -89,7 +89,7 @@ SimResult simulate_with_faults(const TaskGraph& model,
   if (rec) rec->set_track_name(obs::Domain::SimSchedule, kControlTrack,
                                "resilience");
 
-  auto fabric = std::make_unique<comm::Fabric>(coord.config().cluster);
+  auto fabric = std::make_unique<comm::Fabric>(coord.request().cluster);
   faults.apply_to(*fabric);
   if (rec) fabric->set_recorder(rec);
 

@@ -78,7 +78,7 @@ struct SimResult {
 /// metrics. Throws std::invalid_argument when no feasible initial plan
 /// exists.
 SimResult simulate_with_faults(const TaskGraph& model,
-                               const PartitionConfig& cfg,
+                               const SearchRequest& req,
                                const FaultPlan& faults,
                                const SimOptions& opts = {});
 

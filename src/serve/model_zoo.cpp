@@ -5,6 +5,7 @@
 #include "models/bert.h"
 #include "models/gpt2.h"
 #include "models/mlp.h"
+#include "models/moe.h"
 #include "models/resnet.h"
 #include "models/t5.h"
 
@@ -47,6 +48,16 @@ BuiltModel build_model(const ModelSpec& o) {
     if (o.heads) c.heads = o.heads;
     return build_t5(c);
   }
+  if (o.model == "moe") {
+    MoeConfig c;
+    if (o.hidden) c.hidden = o.hidden;
+    if (o.layers) c.layers = o.layers;
+    if (o.seq) c.seq_len = o.seq;
+    if (o.vocab) c.vocab = o.vocab;
+    if (o.heads) c.heads = o.heads;
+    if (o.experts) c.experts = o.experts;
+    return build_moe(c);
+  }
   if (o.model == "resnet") {
     ResNetConfig c;
     if (o.depth) c.depth = static_cast<int>(o.depth);
@@ -76,6 +87,7 @@ std::string canonical_sig(const ModelSpec& o) {
   put("classes", o.classes);
   put("batch", o.batch);
   put("input_dim", o.input_dim);
+  put("experts", o.experts);
   return s;
 }
 
@@ -93,6 +105,7 @@ ModelSpec spec_from_json(const json::Value& v) {
   o.classes = v.geti("classes");
   o.batch = v.geti("batch");
   o.input_dim = v.geti("input_dim");
+  o.experts = v.geti("experts");
   return o;
 }
 

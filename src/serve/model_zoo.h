@@ -23,10 +23,10 @@ namespace serve {
 /// builder's default. The same option set covers every family — each
 /// builder reads the fields that apply to it.
 struct ModelSpec {
-  std::string model;  ///< mlp | bert | gpt2 | t5 | resnet
+  std::string model;  ///< mlp | bert | gpt2 | t5 | resnet | moe
   std::int64_t layers = 0, hidden = 0, seq = 0, vocab = 0, heads = 0;
   std::int64_t depth = 0, width = 0, image = 0, classes = 0;
-  std::int64_t batch = 0, input_dim = 0;
+  std::int64_t batch = 0, input_dim = 0, experts = 0;
 
   friend bool operator==(const ModelSpec&, const ModelSpec&) = default;
 };

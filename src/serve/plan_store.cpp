@@ -43,16 +43,16 @@ const char* optimizer_name(OptimizerKind o) {
 
 }  // namespace
 
-std::string profile_sig(const PartitionConfig& cfg) {
-  const DeviceSpec& d = cfg.cluster.device;
+std::string profile_sig(const SearchRequest& req) {
+  const DeviceSpec& d = req.cluster.device;
   std::ostringstream os;
   const auto f = [&os](const char* k, double v) {
     os << ',' << k << '=' << obs::json_double(v);
   };
-  os << "precision=" << precision_name(cfg.precision)
-     << ",opt=" << optimizer_name(cfg.optimizer)
-     << ",blocks=" << cfg.num_blocks
-     << ",coarsen=" << (cfg.use_coarsening ? 1 : 0);
+  os << "precision=" << precision_name(req.precision)
+     << ",opt=" << optimizer_name(req.optimizer)
+     << ",blocks=" << req.num_blocks
+     << ",coarsen=" << (req.use_coarsening ? 1 : 0);
   f("fp32", d.fp32_flops);
   f("fp16", d.fp16_flops);
   f("meff", d.matmul_eff);
@@ -62,28 +62,28 @@ std::string profile_sig(const PartitionConfig& cfg) {
   f("ko", d.kernel_overhead);
   f("fo", d.fused_overhead);
   f("fl", d.fused_locality);
-  f("ibw", cfg.cluster.intra_bw);
-  f("ilat", cfg.cluster.intra_lat);
-  f("xbw", cfg.cluster.inter_bw);
-  f("xlat", cfg.cluster.inter_lat);
-  os << ",comm=" << (cfg.cluster.comm_model == CommModel::Fabric ? "fabric"
+  f("ibw", req.cluster.intra_bw);
+  f("ilat", req.cluster.intra_lat);
+  f("xbw", req.cluster.inter_bw);
+  f("xlat", req.cluster.inter_lat);
+  os << ",comm=" << (req.cluster.comm_model == CommModel::Fabric ? "fabric"
                                                                  : "analytic");
   return os.str();
 }
 
-std::string geom_sig(const PartitionConfig& cfg) {
+std::string geom_sig(const SearchRequest& req) {
   std::ostringstream os;
-  os << "nodes=" << cfg.cluster.num_nodes
-     << ",dpn=" << cfg.cluster.devices_per_node
-     << ",bs=" << cfg.batch_size
-     << ",mem=" << cfg.cluster.device.memory_bytes
-     << ",margin=" << obs::json_double(cfg.memory_margin)
-     << ",maxcells=" << cfg.max_dp_cells;
+  os << "nodes=" << req.cluster.num_nodes
+     << ",dpn=" << req.cluster.devices_per_node
+     << ",bs=" << req.batch_size
+     << ",mem=" << req.cluster.device.memory_bytes
+     << ",margin=" << obs::json_double(req.memory_margin)
+     << ",maxcells=" << req.budget.max_dp_cells;
   return os.str();
 }
 
-PlanKey make_plan_key(const Fingerprint& fp, const PartitionConfig& cfg) {
-  return PlanKey{fp, profile_sig(cfg), geom_sig(cfg)};
+PlanKey make_plan_key(const Fingerprint& fp, const SearchRequest& req) {
+  return PlanKey{fp, profile_sig(req), geom_sig(req)};
 }
 
 std::string PlanKey::filename() const {

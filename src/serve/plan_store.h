@@ -10,7 +10,7 @@
 // through a temp file plus std::filesystem::rename so a crashed writer can
 // leave at worst a stale .tmp, never a torn entry.
 //
-// The key splits the PartitionConfig into two signatures on purpose:
+// The key splits the SearchRequest into two signatures on purpose:
 //
 //   profile_sig — everything that enters StageProfile values: precision,
 //     optimizer, block partitioning knobs, device roofline numbers, fabric
@@ -22,16 +22,20 @@
 //     budget and the DP cell cap. Differing geometry means a different
 //     plan but reusable profiles.
 //
-// PartitionConfig::threads / profile_memo / shared_memo are deliberately
-// excluded: plans are bit-identical across all of them (the PR 3
-// guarantee), so they must not split the cache.
+// SearchRequest::budget.threads / profile_memo / shared_memo — and, since
+// PR 10, the whole PruneOptions / ShardOptions blocks — are deliberately
+// excluded: plans are bit-identical across all of them (the PR 3 guarantee,
+// extended by the admissible-bound proof of docs/ALGORITHMS.md §13), so
+// they must not split the cache. That exclusion is also what lets a
+// *sharded* served search warm-start from a donor written by an exhaustive
+// one, and vice versa.
 #pragma once
 
 #include <filesystem>
 #include <optional>
 #include <string>
 
-#include "partition/auto_partitioner.h"
+#include "partition/search.h"
 #include "serve/fingerprint.h"
 
 namespace rannc {
@@ -52,11 +56,11 @@ struct PlanKey {
 };
 
 /// The cost-model half of the key (see file comment).
-std::string profile_sig(const PartitionConfig& cfg);
+std::string profile_sig(const SearchRequest& req);
 /// The geometry half of the key.
-std::string geom_sig(const PartitionConfig& cfg);
+std::string geom_sig(const SearchRequest& req);
 
-PlanKey make_plan_key(const Fingerprint& fp, const PartitionConfig& cfg);
+PlanKey make_plan_key(const Fingerprint& fp, const SearchRequest& req);
 
 /// What one store entry holds: the plan (plan_io JSON; empty when the
 /// search proved the request infeasible — negative results are cacheable

@@ -66,7 +66,7 @@ Fingerprint PlanServer::fingerprint_for(const ModelSpec& spec) {
 
 PlanServer::Outcome PlanServer::run_search(
     const std::shared_ptr<const GraphEntry>& ge, const PlanKey& key,
-    const PartitionConfig& cfg) {
+    const SearchRequest& req) {
   Outcome out;
   try {
     std::shared_ptr<MemoSlot> slot;
@@ -90,17 +90,18 @@ PlanServer::Outcome PlanServer::run_search(
         }
       }
     }
-    PartitionConfig run_cfg = cfg;
-    run_cfg.profile_memo = true;
-    run_cfg.shared_memo = slot->memo;
+    SearchRequest run = req;
+    run.profile_memo = true;
+    run.shared_memo = slot->memo;
     searches_.fetch_add(1, std::memory_order_relaxed);
-    PartitionResult result;
+    SearchResult sr;
     {
       obs::Scope span("serve.search", "serve");
       if (span.active()) span.arg("key", key_stem(key));
-      result = opts_.search_fn ? opts_.search_fn(ge->built.graph, run_cfg)
-                               : auto_partition(ge->built.graph, run_cfg);
+      sr = opts_.search_fn ? opts_.search_fn(ge->built.graph, run)
+                           : auto_partition(ge->built.graph, run);
     }
+    const PartitionResult& result = sr.plan;
     auto cp = std::make_shared<CachedPlan>();
     if (result.feasible) {
       cp->plan_json = plan_to_json(result);
@@ -133,7 +134,7 @@ ServeResponse PlanServer::dispatch(const ServeRequest& req) {
   ServeResponse resp;
   const std::shared_ptr<const GraphEntry> ge = graph_for(req.model);
   resp.fingerprint = ge->fp.hex();
-  const PlanKey key = make_plan_key(ge->fp, req.cfg);
+  const PlanKey key = make_plan_key(ge->fp, req.search);
   resp.key = key_stem(key);
 
   const auto fill_plan = [&resp](const CachedPlan& cp) {
@@ -200,7 +201,7 @@ ServeResponse PlanServer::dispatch(const ServeRequest& req) {
 
   Outcome out;
   if (leader) {
-    out = run_search(ge, key, req.cfg);  // never throws
+    out = run_search(ge, key, req.search);  // never throws
     promise.set_value(out);
     std::lock_guard<std::mutex> lk(inflight_mu_);
     inflight_.erase(key.filename());
@@ -295,16 +296,24 @@ std::string PlanServer::stats_json() const {
   return os.str();
 }
 
-ServeRequest request_from_json(const json::Value& v) {
+ServeRequest request_from_json(const json::Value& v,
+                               const SearchRequest& defaults) {
   ServeRequest r;
   r.id = v.geti("id");
   r.model = spec_from_json(v);
+  r.search = defaults;
   if (const std::int64_t n = v.geti("nodes"))
-    r.cfg.cluster.num_nodes = static_cast<int>(n);
+    r.search.cluster.num_nodes = static_cast<int>(n);
   if (const std::int64_t n = v.geti("devices_per_node"))
-    r.cfg.cluster.devices_per_node = static_cast<int>(n);
-  if (const std::int64_t n = v.geti("batch_size")) r.cfg.batch_size = n;
-  r.cfg.threads = static_cast<int>(v.geti("threads"));
+    r.search.cluster.devices_per_node = static_cast<int>(n);
+  if (const std::int64_t n = v.geti("batch_size")) r.search.batch_size = n;
+  r.search.budget.threads =
+      static_cast<int>(v.geti("threads", defaults.budget.threads));
+  r.search.budget.max_dp_cells =
+      v.geti("max_dp_cells", defaults.budget.max_dp_cells);
+  r.search.shard.shards =
+      static_cast<int>(v.geti("shards", defaults.shard.shards));
+  r.search.prune.enabled = v.getb("prune", defaults.prune.enabled);
   return r;
 }
 
@@ -334,7 +343,7 @@ PlanServer::WireResult PlanServer::serve_line(const std::string& line) {
     if (!cmd.empty())
       throw std::invalid_argument("unknown cmd '" + cmd + "'");
 
-    const ServeRequest req = request_from_json(v);
+    const ServeRequest req = request_from_json(v, opts_.request_defaults);
     const ServeResponse resp = handle(req);
     std::ostringstream os;
     os << "{\"id\": " << req.id << ", \"status\": \""

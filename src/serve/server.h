@@ -41,12 +41,12 @@
 namespace rannc {
 namespace serve {
 
-/// One partition request: which model, and the partitioner configuration
-/// (geometry, batch size, knobs) to solve it for.
+/// One partition request: which model, and the search request (geometry,
+/// batch size, budget, pruning/sharding) to solve it for.
 struct ServeRequest {
   std::int64_t id = 0;
   ModelSpec model;
-  PartitionConfig cfg;
+  SearchRequest search;
 };
 
 struct ServeOptions {
@@ -56,10 +56,14 @@ struct ServeOptions {
   int max_queue = 4;
   /// Persist search results (and memo snapshots) to the store.
   bool persist = true;
+  /// Baseline SearchRequest for wire requests: fields absent from the JSON
+  /// inherit from here (the daemon points this at its --shards/--no-prune/
+  /// ... CLI flags), fields present override it.
+  SearchRequest request_defaults;
   /// Test seam for the miss path; defaults to auto_partition. Injected
   /// fakes let the single-flight and shedding tests hold a leader search
   /// open deterministically instead of racing real searches.
-  std::function<PartitionResult(const TaskGraph&, const PartitionConfig&)>
+  std::function<SearchResult(const TaskGraph&, const SearchRequest&)>
       search_fn;
 };
 
@@ -142,7 +146,7 @@ class PlanServer {
   /// The leader's miss path: runs the search (memo-warmed, serialized per
   /// memo signature), caches and persists the result.
   Outcome run_search(const std::shared_ptr<const GraphEntry>& ge,
-                     const PlanKey& key, const PartitionConfig& cfg);
+                     const PlanKey& key, const SearchRequest& req);
 
   ServeOptions opts_;
   std::optional<PlanStore> store_;
@@ -172,10 +176,12 @@ class PlanServer {
       coalesced_{0}, searches_{0}, shed_{0}, errors_{0};
 };
 
-/// Parses the model + cluster fields of a wire request object into a
-/// ServeRequest (defaults from PartitionConfig). Throws
+/// Parses the model + search fields of a wire request object into a
+/// ServeRequest. Fields absent from the JSON inherit from `defaults`
+/// (PlanServer passes ServeOptions::request_defaults). Throws
 /// std::invalid_argument on mistyped fields.
-ServeRequest request_from_json(const json::Value& v);
+ServeRequest request_from_json(const json::Value& v,
+                               const SearchRequest& defaults = {});
 
 }  // namespace serve
 }  // namespace rannc

@@ -7,6 +7,7 @@
 #include "models/mlp.h"
 #include "models/resnet.h"
 #include "partition/auto_partitioner.h"
+#include "partition/search.h"
 
 namespace rannc {
 namespace {
@@ -22,9 +23,9 @@ BertConfig tiny_bert() {
 
 TEST(AutoPartition, TinyBertIsFeasibleAndCoversGraph) {
   BuiltModel m = build_bert(tiny_bert());
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(r.feasible) << r.infeasible_reason;
   ASSERT_NE(r.graph, nullptr);
 
@@ -48,9 +49,9 @@ TEST(AutoPartition, TinyBertIsFeasibleAndCoversGraph) {
 
 TEST(AutoPartition, DeviceBudgetNeverExceeded) {
   BuiltModel m = build_bert(tiny_bert());
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(r.feasible);
   int total = 0;
   for (const StagePlan& s : r.stages) total += s.devices;
@@ -67,9 +68,9 @@ TEST(AutoPartition, SmallModelUsesOneNodeGroupAndBeatsPlainDP) {
   // when a tiny model is all-reduce-latency dominated.)
   MlpConfig mc;
   BuiltModel m = build_mlp(mc);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(r.feasible);
   EXPECT_EQ(r.nodes_used, 1);
   EXPECT_EQ(r.pipelines, cfg.cluster.num_nodes);
@@ -85,24 +86,24 @@ TEST(AutoPartition, SmallModelUsesOneNodeGroupAndBeatsPlainDP) {
 
 TEST(AutoPartition, InfeasibleWhenMemoryAbsurdlySmall) {
   BuiltModel m = build_bert(tiny_bert());
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
   cfg.cluster.device.memory_bytes = 1 << 20;  // 1 MiB devices
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   EXPECT_FALSE(r.feasible);
   EXPECT_FALSE(r.infeasible_reason.empty());
 }
 
 TEST(AutoPartition, LargerModelGetsMoreStages) {
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
   // Shrink devices so even the tiny configs need pipelining.
   cfg.cluster.device.memory_bytes = 48LL << 20;
   BertConfig small = tiny_bert();
   BertConfig big = tiny_bert();
   big.layers = 12;
-  PartitionResult rs = auto_partition(build_bert(small).graph, cfg);
-  PartitionResult rb = auto_partition(build_bert(big).graph, cfg);
+  PartitionResult rs = auto_partition(build_bert(small).graph, cfg).plan;
+  PartitionResult rb = auto_partition(build_bert(big).graph, cfg).plan;
   ASSERT_TRUE(rs.feasible);
   ASSERT_TRUE(rb.feasible);
   EXPECT_GE(rb.stages.size(), rs.stages.size());
@@ -110,11 +111,11 @@ TEST(AutoPartition, LargerModelGetsMoreStages) {
 
 TEST(AutoPartition, MixedPrecisionIsFaster) {
   BuiltModel m = build_bert(tiny_bert());
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
-  PartitionResult fp32 = auto_partition(m.graph, cfg);
+  PartitionResult fp32 = auto_partition(m.graph, cfg).plan;
   cfg.precision = Precision::Mixed;
-  PartitionResult amp = auto_partition(m.graph, cfg);
+  PartitionResult amp = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(fp32.feasible);
   ASSERT_TRUE(amp.feasible);
   EXPECT_GT(amp.throughput(64), fp32.throughput(64));
@@ -123,11 +124,12 @@ TEST(AutoPartition, MixedPrecisionIsFaster) {
 TEST(AutoPartition, AblationVariantSearchesMoreAndEstimatesWorse) {
   // Section IV-C: without coarsening the DP runs over atomic components.
   BuiltModel m = build_bert(tiny_bert());
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
-  PartitionResult with = auto_partition(m.graph, cfg);
+  cfg.prune.enabled = false;  // measures the exhaustive search-space size
+  PartitionResult with = auto_partition(m.graph, cfg).plan;
   cfg.use_coarsening = false;
-  PartitionResult without = auto_partition(m.graph, cfg);
+  PartitionResult without = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(with.feasible);
   ASSERT_TRUE(without.feasible);
   // The variant's DP visits far more cells (units = atomic components).
@@ -137,20 +139,21 @@ TEST(AutoPartition, AblationVariantSearchesMoreAndEstimatesWorse) {
 
 TEST(AutoPartition, AblationAbortsOnBudget) {
   BuiltModel m = build_bert(tiny_bert());
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
   cfg.use_coarsening = false;
-  cfg.max_dp_cells = 100;  // emulates the paper's 24h timeout
-  PartitionResult r = auto_partition(m.graph, cfg);
+  cfg.prune.enabled = false;  // pruning could finish inside the tiny budget
+  cfg.budget.max_dp_cells = 100;  // emulates the paper's 24h timeout
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   EXPECT_FALSE(r.feasible);
   EXPECT_EQ(r.infeasible_reason, "search budget exceeded");
 }
 
 TEST(AutoPartition, CandidateTraceRecordsSearch) {
   BuiltModel m = build_bert(tiny_bert());
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(r.feasible);
   EXPECT_FALSE(r.stats.candidates.empty());
   bool any_feasible = false;
@@ -167,9 +170,9 @@ TEST(AutoPartition, CandidateTraceRecordsSearch) {
 
 TEST(AutoPartition, DescribeMentionsStages) {
   BuiltModel m = build_mlp(MlpConfig{});
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   const std::string desc = describe(r);
   EXPECT_NE(desc.find("stage"), std::string::npos);
 }
@@ -179,9 +182,9 @@ TEST(AutoPartition, ResNetPartitionsCleanly) {
   rc.depth = 50;
   rc.image_size = 32;
   BuiltModel m = build_resnet(rc);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 32;
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(r.feasible) << r.infeasible_reason;
   for (const StagePlan& s : r.stages) EXPECT_TRUE(is_convex(*r.graph, s.tasks));
 }
@@ -190,9 +193,9 @@ class BatchSweep : public ::testing::TestWithParam<std::int64_t> {};
 
 TEST_P(BatchSweep, FeasibleAcrossBatchSizes) {
   BuiltModel m = build_bert(tiny_bert());
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = GetParam();
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   EXPECT_TRUE(r.feasible) << r.infeasible_reason;
   EXPECT_GT(r.throughput(cfg.batch_size), 0);
 }

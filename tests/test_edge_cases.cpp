@@ -8,6 +8,7 @@
 
 #include "models/mlp.h"
 #include "partition/auto_partitioner.h"
+#include "partition/search.h"
 #include "runtime/channel.h"
 #include "runtime/optimizer.h"
 #include "runtime/trainer.h"
@@ -19,11 +20,11 @@ namespace {
 TEST(EdgeCluster, SingleDeviceClusterStillPartitions) {
   MlpConfig mc;
   BuiltModel m = build_mlp(mc);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.cluster.num_nodes = 1;
   cfg.cluster.devices_per_node = 1;
   cfg.batch_size = 8;
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(r.feasible) << r.infeasible_reason;
   EXPECT_EQ(r.stages.size(), 1u);
   EXPECT_EQ(r.pipelines, 1);
@@ -36,11 +37,11 @@ TEST(EdgeCluster, ThreeNodesHandledWithoutCrash) {
   // uses no more devices than exist.
   MlpConfig mc;
   BuiltModel m = build_mlp(mc);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.cluster.num_nodes = 3;
   cfg.cluster.devices_per_node = 2;
   cfg.batch_size = 24;
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(r.feasible) << r.infeasible_reason;
   int devices = 0;
   for (const StagePlan& s : r.stages) devices += s.devices;
@@ -55,12 +56,12 @@ TEST(EdgeGraph, SingleTaskModelPartitions) {
   ValueId h = g.add_task("mm", OpKind::MatMul, {x, w}, Shape{4, 4});
   ValueId loss = g.add_task("ce", OpKind::CrossEntropy, {h, y}, Shape{});
   g.mark_output(loss);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.cluster.num_nodes = 1;
   cfg.cluster.devices_per_node = 2;
   cfg.batch_size = 4;
   cfg.num_blocks = 8;  // more blocks than components: must clamp gracefully
-  PartitionResult r = auto_partition(g, cfg);
+  PartitionResult r = auto_partition(g, cfg).plan;
   ASSERT_TRUE(r.feasible) << r.infeasible_reason;
   EXPECT_LE(r.stages.size(), 2u);
 }
@@ -68,9 +69,9 @@ TEST(EdgeGraph, SingleTaskModelPartitions) {
 TEST(EdgeBatch, BatchSmallerThanDeviceCount) {
   MlpConfig mc;
   BuiltModel m = build_mlp(mc);
-  PartitionConfig cfg;  // 32 devices
+  SearchRequest cfg;  // 32 devices
   cfg.batch_size = 8;   // fewer samples than devices
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   // Feasible or not, the search must terminate and stay consistent.
   if (r.feasible) {
     for (const StagePlan& s : r.stages) EXPECT_GE(s.microbatch_size, 1);
@@ -80,11 +81,11 @@ TEST(EdgeBatch, BatchSmallerThanDeviceCount) {
 TEST(EdgeBatch, BatchOfOne) {
   MlpConfig mc;
   BuiltModel m = build_mlp(mc);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.cluster.num_nodes = 1;
   cfg.cluster.devices_per_node = 1;
   cfg.batch_size = 1;
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(r.feasible);
   EXPECT_EQ(r.microbatches, 1);
 }
@@ -167,13 +168,13 @@ TEST(EdgePrecision, MixedPrecisionPlanUsesLessMemory) {
   MlpConfig mc;
   mc.hidden_dims = {256, 256, 256};
   BuiltModel m = build_mlp(mc);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.cluster.num_nodes = 1;
   cfg.cluster.devices_per_node = 2;
   cfg.batch_size = 8;
-  PartitionResult fp32 = auto_partition(m.graph, cfg);
+  PartitionResult fp32 = auto_partition(m.graph, cfg).plan;
   cfg.precision = Precision::Mixed;
-  PartitionResult amp = auto_partition(m.graph, cfg);
+  PartitionResult amp = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(fp32.feasible);
   ASSERT_TRUE(amp.feasible);
   if (fp32.stages.size() == amp.stages.size()) {

@@ -10,6 +10,7 @@
 #include "models/bert.h"
 #include "models/mlp.h"
 #include "partition/auto_partitioner.h"
+#include "partition/search.h"
 #include "runtime/pipeline_runtime.h"
 #include "runtime/trainer.h"
 
@@ -46,7 +47,7 @@ TEST(EndToEnd, AutoPartitionedPipelineReachesSameLoss) {
   BuiltModel m = build_mlp(mc);
 
   // Miniature cluster: 1 node x 4 devices, memory forcing >= 2 stages.
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.cluster.num_nodes = 1;
   cfg.cluster.devices_per_node = 4;
   const std::int64_t model_state = 4 * m.graph.num_params() * 4;
@@ -55,7 +56,7 @@ TEST(EndToEnd, AutoPartitionedPipelineReachesSameLoss) {
   cfg.num_blocks = 8;
   cfg.optimizer = OptimizerKind::Adam;
 
-  PartitionResult plan = auto_partition(m.graph, cfg);
+  PartitionResult plan = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
   ASSERT_GE(plan.stages.size(), 2u) << "memory cap should force pipelining";
 
@@ -94,13 +95,13 @@ TEST(EndToEnd, PlanStagesAreExecutableWithoutRecompute) {
   mc.num_classes = 4;
   mc.batch = 2;
   BuiltModel m = build_mlp(mc);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.cluster.num_nodes = 1;
   cfg.cluster.devices_per_node = 2;
   cfg.cluster.device.memory_bytes = 5 * m.graph.num_params() * 4;  // > model state, < state + activations: forces S >= 2
   cfg.batch_size = 8;
   cfg.num_blocks = 4;
-  PartitionResult plan = auto_partition(m.graph, cfg);
+  PartitionResult plan = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
   std::vector<std::vector<TaskId>> stage_tasks;
   for (const StagePlan& s : plan.stages) stage_tasks.push_back(s.tasks);
@@ -128,13 +129,13 @@ TEST(EndToEnd, TinyBertPipelineMatchesReference) {
   bc.vocab = 37;
   BuiltModel m = build_bert(bc);
 
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.cluster.num_nodes = 1;
   cfg.cluster.devices_per_node = 3;
   cfg.cluster.device.memory_bytes = 5 * m.graph.num_params() * 4;
   cfg.batch_size = 8;
   cfg.num_blocks = 6;
-  PartitionResult plan = auto_partition(m.graph, cfg);
+  PartitionResult plan = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
   ASSERT_GE(plan.stages.size(), 2u);
 

@@ -216,16 +216,16 @@ TEST(ObsTrace, TracedPlanBitIdenticalToUntraced) {
   bc.seq_len = 32;
   bc.vocab = 256;
   const BuiltModel m = build_bert(bc);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
-  cfg.threads = 2;
+  cfg.budget.threads = 2;
 
-  const PartitionResult untraced = auto_partition(m.graph, cfg);
+  const PartitionResult untraced = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(untraced.feasible) << untraced.infeasible_reason;
 
   obs::TraceRecorder rec;
   obs::set_recorder(&rec);
-  const PartitionResult traced = auto_partition(m.graph, cfg);
+  const PartitionResult traced = auto_partition(m.graph, cfg).plan;
   obs::set_recorder(nullptr);
   ASSERT_TRUE(traced.feasible);
 
@@ -243,13 +243,13 @@ std::pair<std::string, std::string> sim_trace_at_threads(int threads) {
   bc.seq_len = 32;
   bc.vocab = 256;
   const BuiltModel m = build_bert(bc);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
-  cfg.threads = threads;
+  cfg.budget.threads = threads;
 
   obs::TraceRecorder rec;
   obs::set_recorder(&rec);
-  const PartitionResult plan = auto_partition(m.graph, cfg);
+  const PartitionResult plan = auto_partition(m.graph, cfg).plan;
   EXPECT_TRUE(plan.feasible) << plan.infeasible_reason;
   EXPECT_EQ(plan.stats.threads_used, threads);
 
@@ -305,13 +305,13 @@ TEST(ObsTrace, SearchDomainCarriesPhaseSpansAndLanes) {
   bc.seq_len = 32;
   bc.vocab = 256;
   const BuiltModel m = build_bert(bc);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
-  cfg.threads = 4;
+  cfg.budget.threads = 4;
 
   obs::TraceRecorder rec;
   obs::set_recorder(&rec);
-  const PartitionResult plan = auto_partition(m.graph, cfg);
+  const PartitionResult plan = auto_partition(m.graph, cfg).plan;
   obs::set_recorder(nullptr);
   ASSERT_TRUE(plan.feasible);
 
@@ -753,10 +753,10 @@ TEST(Attribution, ReportJsonDeterministicAndWellFormed) {
   const TaskGraph g = build_bert(bc).graph;
   std::vector<std::string> docs;
   for (int threads : {1, 4}) {
-    PartitionConfig cfg;
+    SearchRequest cfg;
     cfg.batch_size = 8;
-    cfg.threads = threads;
-    const PartitionResult plan = auto_partition(g, cfg);
+    cfg.budget.threads = threads;
+    const PartitionResult plan = auto_partition(g, cfg).plan;
     ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
     const int S = static_cast<int>(plan.stages.size());
     std::vector<StageTimes> st(static_cast<std::size_t>(S));

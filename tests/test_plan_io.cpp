@@ -12,7 +12,7 @@
 namespace rannc {
 namespace {
 
-PartitionResult small_plan(PartitionConfig& cfg) {
+PartitionResult small_plan(SearchRequest& cfg) {
   BertConfig bc;
   bc.hidden = 128;
   bc.layers = 4;
@@ -20,18 +20,18 @@ PartitionResult small_plan(PartitionConfig& cfg) {
   bc.vocab = 256;
   cfg.batch_size = 64;
   BuiltModel m = build_bert(bc);
-  return auto_partition(m.graph, cfg);
+  return auto_partition(m.graph, cfg).plan;
 }
 
 TEST(ValidatePlan, AcceptsAutoPartitionOutput) {
-  PartitionConfig cfg;
+  SearchRequest cfg;
   PartitionResult plan = small_plan(cfg);
   ASSERT_TRUE(plan.feasible);
   EXPECT_TRUE(validate_plan(plan, cfg).empty());
 }
 
 TEST(ValidatePlan, DetectsMissingTask) {
-  PartitionConfig cfg;
+  SearchRequest cfg;
   PartitionResult plan = small_plan(cfg);
   ASSERT_TRUE(plan.feasible);
   plan.stages.back().tasks.pop_back();
@@ -41,7 +41,7 @@ TEST(ValidatePlan, DetectsMissingTask) {
 }
 
 TEST(ValidatePlan, DetectsDoubleAssignment) {
-  PartitionConfig cfg;
+  SearchRequest cfg;
   PartitionResult plan = small_plan(cfg);
   ASSERT_TRUE(plan.feasible);
   if (plan.stages.size() < 2) GTEST_SKIP();
@@ -51,7 +51,7 @@ TEST(ValidatePlan, DetectsDoubleAssignment) {
 }
 
 TEST(ValidatePlan, DetectsNonConvexStage) {
-  PartitionConfig cfg;
+  SearchRequest cfg;
   PartitionResult plan = small_plan(cfg);
   ASSERT_TRUE(plan.feasible);
   if (plan.stages.size() < 2) GTEST_SKIP();
@@ -66,7 +66,7 @@ TEST(ValidatePlan, DetectsNonConvexStage) {
 }
 
 TEST(ValidatePlan, DetectsCutValueWithoutProducer) {
-  PartitionConfig cfg;
+  SearchRequest cfg;
   PartitionResult plan = small_plan(cfg);
   ASSERT_TRUE(plan.feasible);
   if (plan.stages.size() < 2) GTEST_SKIP();
@@ -93,7 +93,7 @@ TEST(ValidatePlan, DetectsCutValueWithoutProducer) {
 }
 
 TEST(ValidatePlan, DetectsMemoryOverrun) {
-  PartitionConfig cfg;
+  SearchRequest cfg;
   PartitionResult plan = small_plan(cfg);
   ASSERT_TRUE(plan.feasible);
   plan.stages[0].mem = cfg.usable_memory() + 1;
@@ -103,7 +103,7 @@ TEST(ValidatePlan, DetectsMemoryOverrun) {
 }
 
 TEST(ValidatePlan, DetectsDeviceOversubscription) {
-  PartitionConfig cfg;
+  SearchRequest cfg;
   PartitionResult plan = small_plan(cfg);
   ASSERT_TRUE(plan.feasible);
   plan.stages[0].devices = cfg.cluster.total_devices() + 1;
@@ -112,7 +112,7 @@ TEST(ValidatePlan, DetectsDeviceOversubscription) {
 }
 
 TEST(ValidatePlan, RejectsInfeasibleAndGraphlessPlans) {
-  PartitionConfig cfg;
+  SearchRequest cfg;
   PartitionResult empty;
   EXPECT_FALSE(validate_plan(empty, cfg).empty());
   empty.feasible = true;
@@ -120,7 +120,7 @@ TEST(ValidatePlan, RejectsInfeasibleAndGraphlessPlans) {
 }
 
 TEST(PlanJson, RoundTripPreservesEverything) {
-  PartitionConfig cfg;
+  SearchRequest cfg;
   PartitionResult plan = small_plan(cfg);
   ASSERT_TRUE(plan.feasible);
   const std::string json = plan_to_json(plan);

@@ -14,6 +14,7 @@
 #include "graph/subgraph.h"
 #include "partition/atomic.h"
 #include "partition/auto_partitioner.h"
+#include "partition/search.h"
 #include "partition/block.h"
 #include "profiler/graph_profiler.h"
 
@@ -200,12 +201,12 @@ TEST_P(Fuzz, BlockPartitionInvariantsHold) {
 
 TEST_P(Fuzz, AutoPartitionProducesValidPlans) {
   TaskGraph g = random_graph(GetParam(), 10, 4);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.cluster.num_nodes = 1;
   cfg.cluster.devices_per_node = 4;
   cfg.batch_size = 16;
   cfg.num_blocks = 6;
-  PartitionResult r = auto_partition(g, cfg);
+  PartitionResult r = auto_partition(g, cfg).plan;
   if (!r.feasible) GTEST_SKIP();  // tiny graphs may be degenerate
   std::vector<int> covered(r.graph->num_tasks(), 0);
   for (const StagePlan& s : r.stages) {

@@ -304,7 +304,7 @@ TEST(ShrinkCluster, RejectsTotalLossAndBadRanks) {
 
 TEST(RecoveryCoordinator, RecoversFromDeviceLossWithWarmMemo) {
   const BuiltModel m = build_mlp(test_mlp());
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
   cfg.cluster.num_nodes = 1;
   cfg.cluster.devices_per_node = 4;
@@ -340,13 +340,13 @@ TEST(RecoveryCoordinator, RecoversFromDeviceLossWithWarmMemo) {
   EXPECT_EQ(bytes, oc.migration.total_bytes);
 
   // The coordinator's active state advanced, so failures chain.
-  EXPECT_EQ(coord.config().cluster.devices_per_node, 3);
+  EXPECT_EQ(coord.request().cluster.devices_per_node, 3);
   EXPECT_EQ(coord.plan().stages.size(), oc.plan.stages.size());
 }
 
 TEST(RecoveryCoordinator, RecoverBeforePartitionIsAnError) {
   const BuiltModel m = build_mlp(test_mlp());
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
   resilience::RecoveryCoordinator coord(m.graph, cfg);
   EXPECT_THROW(coord.recover({0}), std::logic_error);
@@ -407,7 +407,10 @@ TEST(PartitionConfigValidate, GatesAutoPartition) {
   const BuiltModel m = build_mlp(test_mlp());
   PartitionConfig cfg;
   cfg.batch_size = -4;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_THROW(auto_partition(m.graph, cfg), std::invalid_argument);
+#pragma GCC diagnostic pop
 }
 
 // ---- virtual-time fault simulator ------------------------------------------
@@ -417,8 +420,8 @@ TEST(FaultSim, MessageTimeoutsAreAbsorbedAndAccounted) {
   bc.layers = 4;
   bc.hidden = 128;
   const BuiltModel m = build_bert(bc);
-  PartitionConfig cfg;
-  cfg.threads = 1;
+  SearchRequest cfg;
+  cfg.budget.threads = 1;
 
   FaultPlan faults;
   FaultEvent e;
@@ -452,8 +455,8 @@ TEST(FaultSim, RollbackWhenTimeoutsExhaustRetryBudget) {
   bc.layers = 4;
   bc.hidden = 128;
   const BuiltModel m = build_bert(bc);
-  PartitionConfig cfg;
-  cfg.threads = 1;
+  SearchRequest cfg;
+  cfg.budget.threads = 1;
 
   FaultPlan faults;
   FaultEvent e;
@@ -478,9 +481,9 @@ resilience::SimResult run_failover_sim(int threads, std::string* schedule,
                                        std::string* fabric,
                                        std::string* plan_json) {
   const BuiltModel m = build_mlp(test_mlp());
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
-  cfg.threads = threads;
+  cfg.budget.threads = threads;
 
   FaultPlan faults;
   FaultEvent e;

@@ -13,6 +13,7 @@
 #include "partition/auto_partitioner.h"
 #include "partition/plan_io.h"
 #include "partition/profile_memo.h"
+#include "partition/search.h"
 #include "partition/stage_dp.h"
 
 namespace rannc {
@@ -30,18 +31,21 @@ BertConfig tiny_bert() {
 // ---- Plan determinism across thread counts and memoization ---------------
 
 void expect_plan_invariant(const TaskGraph& g, std::int64_t batch_size) {
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = batch_size;
-  cfg.threads = 1;
+  cfg.budget.threads = 1;
   cfg.profile_memo = false;
-  const PartitionResult base = auto_partition(g, cfg);
+  // The dp_cells / candidate-count equalities below assume the exhaustive
+  // sweep; the pruned engine's invariance is covered by test_search_prune.
+  cfg.prune.enabled = false;
+  const PartitionResult base = auto_partition(g, cfg).plan;
   ASSERT_TRUE(base.feasible) << base.infeasible_reason;
   const std::string base_json = plan_to_json(base);
 
   cfg.profile_memo = true;
   for (int t : {1, 2, 8}) {
-    cfg.threads = t;
-    const PartitionResult r = auto_partition(g, cfg);
+    cfg.budget.threads = t;
+    const PartitionResult r = auto_partition(g, cfg).plan;
     ASSERT_TRUE(r.feasible) << r.infeasible_reason;
     EXPECT_EQ(r.stats.threads_used, t);
     // Byte-identical plan JSON: same stages, devices, microbatches,
@@ -70,10 +74,10 @@ TEST(SearchParallel, PlanBitIdenticalAcrossThreadsMlp) {
 
 TEST(SearchParallel, CandidatesSortedDeterministically) {
   BuiltModel m = build_bert(tiny_bert());
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
-  cfg.threads = 8;
-  const PartitionResult r = auto_partition(m.graph, cfg);
+  cfg.budget.threads = 8;
+  const PartitionResult r = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(r.feasible);
   const auto& cs = r.stats.candidates;
   ASSERT_FALSE(cs.empty());
@@ -176,13 +180,14 @@ TEST(ProfileMemo, ReturnsBitIdenticalProfiles) {
 
 TEST(SearchParallel, BudgetAbortIsDeterministicUnderThreads) {
   BuiltModel m = build_bert(tiny_bert());
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 64;
   cfg.use_coarsening = false;  // the expensive ablation path
-  cfg.max_dp_cells = 100;
+  cfg.budget.max_dp_cells = 100;
+  cfg.prune.enabled = false;  // pruning could finish inside the tiny budget
   for (int t : {1, 8}) {
-    cfg.threads = t;
-    const PartitionResult r = auto_partition(m.graph, cfg);
+    cfg.budget.threads = t;
+    const PartitionResult r = auto_partition(m.graph, cfg).plan;
     EXPECT_FALSE(r.feasible) << "threads=" << t;
     EXPECT_EQ(r.infeasible_reason, "search budget exceeded")
         << "threads=" << t;

@@ -1,0 +1,475 @@
+// Tests for the branch-and-bound partition search (PR 10): the pruned and
+// sharded engines must return plans bit-identical to the exhaustive sweep
+// at every thread and shard count, each prune sub-switch alone must
+// preserve that identity, the sharded counters must be deterministic, and
+// the stage-DP bound hooks must be provably admissibility-sensitive (an
+// inadmissible bound visibly loses the optimum — the negative control that
+// keeps the identity tests honest).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "models/bert.h"
+#include "models/mlp.h"
+#include "models/moe.h"
+#include "partition/auto_partitioner.h"
+#include "partition/plan_io.h"
+#include "partition/profile_memo.h"
+#include "partition/search.h"
+#include "partition/stage_dp.h"
+#include "serve/fingerprint.h"
+#include "serve/plan_store.h"
+
+namespace rannc {
+namespace {
+
+// ---- the small-geometry model zoo ----------------------------------------
+
+BertConfig tiny_bert() {
+  BertConfig c;
+  c.hidden = 128;
+  c.layers = 4;
+  c.seq_len = 32;
+  c.vocab = 256;
+  return c;
+}
+
+MlpConfig deep_mlp() {
+  MlpConfig c;
+  c.input_dim = 64;
+  c.hidden_dims = {128, 128, 128, 128};
+  c.num_classes = 16;
+  return c;
+}
+
+MoeConfig tiny_moe() {
+  MoeConfig c;
+  c.hidden = 64;
+  c.layers = 2;
+  c.seq_len = 16;
+  c.vocab = 128;
+  c.experts = 4;
+  c.ffn_mult = 2;
+  return c;
+}
+
+struct ZooModel {
+  const char* name;
+  BuiltModel built;
+};
+
+std::vector<ZooModel> zoo() {
+  std::vector<ZooModel> z;
+  z.push_back({"bert", build_bert(tiny_bert())});
+  z.push_back({"mlp", build_mlp(deep_mlp())});
+  z.push_back({"moe", build_moe(tiny_moe())});
+  return z;
+}
+
+SearchRequest base_request(std::int64_t batch = 64) {
+  SearchRequest req;
+  req.cluster.num_nodes = 2;
+  req.cluster.devices_per_node = 2;
+  req.batch_size = batch;
+  req.budget.threads = 1;
+  return req;
+}
+
+SearchRequest exhaustive(const SearchRequest& req) {
+  SearchRequest e = req;
+  e.prune.enabled = false;
+  e.shard.shards = 1;
+  return e;
+}
+
+// ---- plan identity: exhaustive vs pruned vs sharded ----------------------
+
+TEST(SearchPrune, PlanIdentityMatrixAcrossThreadsAndShards) {
+  for (const ZooModel& m : zoo()) {
+    const SearchRequest base = base_request();
+    const PartitionResult ex = auto_partition(m.built.graph, exhaustive(base)).plan;
+    ASSERT_TRUE(ex.feasible) << m.name << ": " << ex.infeasible_reason;
+    const std::string want = plan_to_json(ex);
+
+    for (int threads : {1, 4}) {
+      for (int shards : {1, 4}) {
+        SearchRequest req = base;
+        req.budget.threads = threads;
+        req.shard.shards = shards;
+        const SearchResult sr = auto_partition(m.built.graph, req);
+        ASSERT_TRUE(sr.feasible())
+            << m.name << " threads=" << threads << " shards=" << shards;
+        EXPECT_EQ(plan_to_json(sr.plan), want)
+            << m.name << " threads=" << threads << " shards=" << shards;
+        EXPECT_EQ(sr.stats().threads_used, threads);
+        EXPECT_EQ(sr.stats().shards_used, shards);
+      }
+    }
+  }
+}
+
+TEST(SearchPrune, EachPruneSwitchAlonePreservesThePlan) {
+  const BuiltModel m = build_bert(tiny_bert());
+  const SearchRequest base = base_request();
+  const std::string want =
+      plan_to_json(auto_partition(m.graph, exhaustive(base)).plan);
+
+  const auto run_with = [&](bool mem, bool comp, bool inc) {
+    SearchRequest req = base;
+    req.prune.enabled = true;
+    req.prune.memory_bounds = mem;
+    req.prune.compute_bounds = comp;
+    req.prune.incumbent = inc;
+    return auto_partition(m.graph, req);
+  };
+  EXPECT_EQ(plan_to_json(run_with(true, false, false).plan), want)
+      << "memory_bounds alone";
+  EXPECT_EQ(plan_to_json(run_with(false, true, false).plan), want)
+      << "compute_bounds alone";
+  EXPECT_EQ(plan_to_json(run_with(false, false, true).plan), want)
+      << "incumbent alone";
+  EXPECT_EQ(plan_to_json(run_with(true, true, true).plan), want)
+      << "all switches";
+}
+
+TEST(SearchPrune, PrunedSearchVisitsNoMoreCellsAndActuallyCuts) {
+  const BuiltModel m = build_bert(tiny_bert());
+  const SearchRequest base = base_request();
+
+  const SearchResult ex = auto_partition(m.graph, exhaustive(base));
+  SearchRequest pr = base;  // defaults: prune on, shards 1, threads 1
+  const SearchResult bb = auto_partition(m.graph, pr);
+
+  ASSERT_TRUE(ex.feasible());
+  ASSERT_TRUE(bb.feasible());
+  // Cuts only ever remove work from the sweep.
+  EXPECT_LE(bb.stats().dp_cells_visited, ex.stats().dp_cells_visited);
+  // The exhaustive engine reports no prune activity at all.
+  EXPECT_EQ(ex.prune().jobs_pruned, 0);
+  EXPECT_EQ(ex.prune().ranges_pruned(), 0);
+  EXPECT_EQ(ex.prune().columns_pruned, 0);
+  EXPECT_EQ(ex.prune().paths_pruned, 0);
+  EXPECT_EQ(ex.prune().incumbent_updates, 0);
+  // The pruned engine demonstrably did cut something on this geometry.
+  const PruneStats& ps = bb.prune();
+  EXPECT_GT(ps.jobs_pruned + ps.jobs_dominated + ps.ranges_pruned() +
+                ps.columns_pruned + ps.paths_pruned,
+            0);
+  EXPECT_GT(ps.incumbent_updates, 0);
+}
+
+TEST(SearchPrune, WinnerCandidateIsNeverPrunedAndKeepsItsEstimate) {
+  const BuiltModel m = build_bert(tiny_bert());
+  const SearchRequest base = base_request();
+  const SearchResult ex = auto_partition(m.graph, exhaustive(base));
+  const SearchResult bb = auto_partition(m.graph, base);
+  ASSERT_TRUE(ex.feasible());
+  ASSERT_TRUE(bb.feasible());
+
+  EXPECT_DOUBLE_EQ(bb.plan.est_iteration_time, ex.plan.est_iteration_time);
+
+  const auto winner = [&](const SearchResult& r) -> const CandidateTrace* {
+    for (const CandidateTrace& c : r.stats().candidates)
+      if (c.nodes == r.plan.nodes_used &&
+          c.stages == static_cast<int>(r.plan.stages.size()) &&
+          c.microbatches == r.plan.microbatches)
+        return &c;
+    return nullptr;
+  };
+  const CandidateTrace* wex = winner(ex);
+  const CandidateTrace* wbb = winner(bb);
+  ASSERT_NE(wex, nullptr);
+  ASSERT_NE(wbb, nullptr);
+  EXPECT_FALSE(wbb->pruned);
+  EXPECT_TRUE(wbb->feasible);
+  // The winner's estimate survives pruning bit-exactly.
+  EXPECT_DOUBLE_EQ(wbb->est_iteration, wex->est_iteration);
+  // Every pruned trace carries no estimate (it never finished its DP)...
+  for (const CandidateTrace& c : bb.stats().candidates) {
+    if (c.pruned) {
+      EXPECT_FALSE(c.feasible);
+    }
+  }
+  // ...and the exhaustive engine marks nothing pruned.
+  for (const CandidateTrace& c : ex.stats().candidates)
+    EXPECT_FALSE(c.pruned);
+}
+
+// ---- sharded-mode determinism --------------------------------------------
+
+TEST(SearchPrune, ShardedCountersAreThreadCountInvariant) {
+  const BuiltModel m = build_bert(tiny_bert());
+  SearchRequest req = base_request();
+  req.shard.shards = 4;
+
+  req.budget.threads = 1;
+  const SearchResult a = auto_partition(m.graph, req);
+  req.budget.threads = 4;
+  const SearchResult b = auto_partition(m.graph, req);
+  ASSERT_TRUE(a.feasible());
+  ASSERT_TRUE(b.feasible());
+
+  EXPECT_EQ(plan_to_json(a.plan), plan_to_json(b.plan));
+  // Frozen-incumbent rounds make every work counter deterministic.
+  EXPECT_EQ(a.stats().dp_cells_visited, b.stats().dp_cells_visited);
+  EXPECT_EQ(a.stats().profile_queries, b.stats().profile_queries);
+  EXPECT_EQ(a.prune().jobs_pruned, b.prune().jobs_pruned);
+  EXPECT_EQ(a.prune().jobs_dominated, b.prune().jobs_dominated);
+  EXPECT_EQ(a.prune().ranges_mem_pruned, b.prune().ranges_mem_pruned);
+  EXPECT_EQ(a.prune().ranges_bound_pruned, b.prune().ranges_bound_pruned);
+  EXPECT_EQ(a.prune().columns_pruned, b.prune().columns_pruned);
+  EXPECT_EQ(a.prune().paths_pruned, b.prune().paths_pruned);
+  EXPECT_EQ(a.prune().incumbent_updates, b.prune().incumbent_updates);
+  EXPECT_EQ(a.prune().shard_rounds, b.prune().shard_rounds);
+  // The simulated barrier allreduces spent (identical) virtual fabric time.
+  EXPECT_GT(a.prune().shard_rounds, 0);
+  EXPECT_GT(a.prune().shard_sync_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(a.prune().shard_sync_seconds, b.prune().shard_sync_seconds);
+}
+
+// ---- budget interplay ----------------------------------------------------
+
+TEST(SearchPrune, PrunedSearchFinishesInsideTheExhaustiveCellDemand) {
+  const BuiltModel m = build_bert(tiny_bert());
+  const SearchRequest base = base_request();
+  const SearchResult ex = auto_partition(m.graph, exhaustive(base));
+  ASSERT_TRUE(ex.feasible());
+
+  // A budget equal to the exhaustive demand can never abort the pruned
+  // engine (cuts only shrink the visit count), and the plan is unchanged.
+  SearchRequest capped = base;
+  capped.budget.max_dp_cells = ex.stats().dp_cells_visited;
+  const SearchResult bb = auto_partition(m.graph, capped);
+  ASSERT_TRUE(bb.feasible()) << bb.plan.infeasible_reason;
+  EXPECT_EQ(plan_to_json(bb.plan), plan_to_json(ex.plan));
+}
+
+// ---- request validation ---------------------------------------------------
+
+TEST(SearchPrune, ValidateRejectsBadShardAndCellBudget) {
+  SearchRequest req = base_request();
+  req.shard.shards = 0;
+  req.budget.max_dp_cells = -1;
+  const std::vector<Diagnostic> diags = req.validate();
+  bool shard = false, cells = false;
+  for (const Diagnostic& d : diags) {
+    if (d.code == DiagCode::BadShardCount) shard = true;
+    if (d.code == DiagCode::BadCellBudget) cells = true;
+  }
+  EXPECT_TRUE(shard);
+  EXPECT_TRUE(cells);
+  const BuiltModel m = build_mlp(deep_mlp());
+  EXPECT_THROW(auto_partition(m.graph, req), std::invalid_argument);
+}
+
+// ---- stage-DP bound hooks: admissibility sensitivity ----------------------
+
+/// Synthetic ramp workload for direct form_stage_dp probing.
+struct SyntheticUnits {
+  std::vector<double> w;
+  std::vector<double> mem;
+
+  [[nodiscard]] RangeProfileFn fn() const {
+    return [this](int lo, int hi, std::int64_t bsize, int, int) {
+      StageProfile p;
+      double tw = 0, tm = 0;
+      for (int i = lo; i < hi; ++i) {
+        tw += w[static_cast<std::size_t>(i)];
+        tm += mem[static_cast<std::size_t>(i)];
+      }
+      p.t_f = tw * static_cast<double>(bsize);
+      p.t_b = 2 * p.t_f;
+      p.mem = static_cast<std::int64_t>(tm * static_cast<double>(bsize));
+      return p;
+    };
+  }
+};
+
+SyntheticUnits ramp_units(int n) {
+  SyntheticUnits u;
+  for (int i = 0; i < n; ++i) {
+    u.w.push_back(1.0 + 0.1 * i);
+    u.mem.push_back(8.0);
+  }
+  return u;
+}
+
+StageDpInput dp_input(const SyntheticUnits& u, int S, int D) {
+  StageDpInput in;
+  in.num_units = static_cast<int>(u.w.size());
+  in.num_stages = S;
+  in.num_devices = D;
+  in.batch_size = 256;
+  in.replica_factor = 1;
+  in.microbatches = 4;
+  in.device_memory = 1 << 30;
+  in.profile = u.fn();
+  return in;
+}
+
+/// The exact admissible range bound for the synthetic profile: its value at
+/// the smallest reachable per-replica microbatch (most devices assigned).
+RangeBoundFn admissible_bound(const SyntheticUnits& u,
+                              const StageDpInput& in) {
+  const RangeProfileFn profile = u.fn();
+  const std::int64_t bs = in.batch_size;
+  const int R = in.replica_factor, MB = in.microbatches, D = in.num_devices;
+  const int S = in.num_stages;
+  return [profile, bs, R, MB, D, S](int lo, int hi) {
+    std::int64_t bsize = bs / R / MB / (D - S + 1);
+    if (bsize < 1) bsize = 1;
+    const StageProfile p = profile(lo, hi, bsize, MB, S);
+    StageBound b;
+    b.time = p.t_f + p.t_b;
+    b.mem = p.mem;
+    return b;
+  };
+}
+
+TEST(StageDpBounds, AdmissibleBoundKeepsTheOptimum) {
+  const SyntheticUnits u = ramp_units(16);
+  StageDpInput in = dp_input(u, 3, 6);
+  const StageDpSolution plain = form_stage_dp(in);
+  ASSERT_TRUE(plain.feasible);
+
+  // Arm every hook with a finished incumbent exactly at the optimum: all
+  // cuts are strict, so even the tightest admissible setup keeps the
+  // winning solution bit-identical.
+  StageDpInput armed = in;
+  armed.bound = admissible_bound(u, in);
+  armed.prune_memory = true;
+  armed.prune_structural = true;
+  std::vector<double> suffix(static_cast<std::size_t>(in.num_units) + 1, 0.0);
+  const RangeProfileFn profile = u.fn();
+  for (int b = in.num_units - 1; b >= 0; --b) {
+    const StageProfile p = profile(b, b + 1, 1, in.microbatches, in.num_stages);
+    suffix[static_cast<std::size_t>(b)] =
+        std::max(suffix[static_cast<std::size_t>(b) + 1], p.t_f + p.t_b);
+  }
+  armed.suffix_bound = suffix.data();
+  armed.job_bound = suffix[0];
+  armed.est_scale = static_cast<double>(in.microbatches);
+  const std::atomic<std::uint64_t> incumbent{
+      std::bit_cast<std::uint64_t>(armed.est_scale * plain.value())};
+  armed.incumbent = &incumbent;
+
+  const StageDpSolution pruned = form_stage_dp(armed);
+  ASSERT_TRUE(pruned.feasible);
+  EXPECT_FALSE(pruned.dominated);
+  EXPECT_EQ(pruned.stage_end, plain.stage_end);
+  EXPECT_EQ(pruned.stage_devices, plain.stage_devices);
+  EXPECT_DOUBLE_EQ(pruned.max_tf, plain.max_tf);
+  EXPECT_DOUBLE_EQ(pruned.max_tb, plain.max_tb);
+  EXPECT_LE(pruned.dp_cells_visited, plain.dp_cells_visited);
+}
+
+TEST(StageDpBounds, InadmissibleTimeBoundLosesTheOptimum) {
+  // Negative control: inflate the range bound 10x (an OVERestimate, hence
+  // inadmissible) and hand the DP the true optimum as incumbent. The cuts
+  // now fire on winner ranges, so the returned solution is strictly worse
+  // or gone — proof that the identity tests above genuinely depend on
+  // admissibility rather than on the hooks being ignored.
+  const SyntheticUnits u = ramp_units(16);
+  StageDpInput in = dp_input(u, 3, 6);
+  const StageDpSolution plain = form_stage_dp(in);
+  ASSERT_TRUE(plain.feasible);
+
+  StageDpInput bad = in;
+  const RangeBoundFn good = admissible_bound(u, in);
+  bad.bound = [good](int lo, int hi) {
+    StageBound b = good(lo, hi);
+    b.time *= 10.0;
+    return b;
+  };
+  bad.est_scale = static_cast<double>(in.microbatches);
+  const std::atomic<std::uint64_t> incumbent{
+      std::bit_cast<std::uint64_t>(bad.est_scale * plain.value())};
+  bad.incumbent = &incumbent;
+
+  const StageDpSolution wrong = form_stage_dp(bad);
+  EXPECT_GT(wrong.ranges_bound_pruned, 0);
+  const bool lost_optimum =
+      !wrong.feasible || wrong.value() > plain.value() ||
+      wrong.stage_end != plain.stage_end;
+  EXPECT_TRUE(lost_optimum);
+}
+
+TEST(StageDpBounds, InadmissibleMemoryFloorLosesFeasibility) {
+  // Same control for the memory floor: an inflated floor marks every range
+  // infeasible and the DP finds nothing, while the admissible floor keeps
+  // the exact solution (checked in AdmissibleBoundKeepsTheOptimum).
+  const SyntheticUnits u = ramp_units(12);
+  StageDpInput in = dp_input(u, 3, 6);
+  ASSERT_TRUE(form_stage_dp(in).feasible);
+
+  StageDpInput bad = in;
+  bad.prune_memory = true;
+  bad.bound = [&](int, int) {
+    StageBound b;
+    b.time = 0;
+    b.mem = std::numeric_limits<std::int64_t>::max();
+    return b;
+  };
+  const StageDpSolution wrong = form_stage_dp(bad);
+  EXPECT_FALSE(wrong.feasible);
+  EXPECT_GT(wrong.ranges_mem_pruned, 0);
+}
+
+// ---- serve warm start across engine modes ---------------------------------
+
+TEST(SearchPrune, PlanStoreKeyIgnoresPruneShardAndThreads) {
+  const serve::Fingerprint fp =
+      serve::fingerprint_graph(build_mlp(deep_mlp()).graph);
+  const SearchRequest a = base_request();
+
+  SearchRequest b = exhaustive(a);
+  b.budget.threads = 8;
+  b.profile_memo = false;
+  SearchRequest c = a;
+  c.shard.shards = 4;
+  c.prune.memory_bounds = false;
+
+  // Plans are bit-identical across these knobs, so the store must hand a
+  // sharded served search the memo an exhaustive search wrote (the warm
+  // sibling fix) — which requires the keys to collide exactly.
+  EXPECT_EQ(serve::make_plan_key(fp, a), serve::make_plan_key(fp, b));
+  EXPECT_EQ(serve::make_plan_key(fp, a), serve::make_plan_key(fp, c));
+
+  // A genuinely different geometry still splits the key.
+  SearchRequest d = a;
+  d.batch_size = 2 * a.batch_size;
+  EXPECT_NE(serve::make_plan_key(fp, a), serve::make_plan_key(fp, d));
+}
+
+TEST(SearchPrune, ShardedSearchRunsWarmOffAnExhaustiveMemo) {
+  const BuiltModel m = build_mlp(deep_mlp());
+  SearchRequest cold = exhaustive(base_request());
+  auto memo = std::make_shared<ProfileMemo>();
+  cold.shared_memo = memo;
+  const SearchResult first = auto_partition(m.graph, cold);
+  ASSERT_TRUE(first.feasible());
+  ASSERT_GT(memo->size(), 0u);
+
+  // The sharded pruned engine routes every rank through the shared memo,
+  // so an exhaustive donor answers most of its profile queries (the bound
+  // evaluations probe extra microbatch floors, so a few misses remain).
+  SearchRequest warm = base_request();
+  warm.budget.threads = 4;
+  warm.shard.shards = 4;
+  warm.shared_memo = memo;
+  const SearchResult second = auto_partition(m.graph, warm);
+  ASSERT_TRUE(second.feasible());
+  EXPECT_LT(second.stats().memo_misses, first.stats().memo_misses);
+  EXPECT_GT(second.stats().memo_hits, 0);
+  EXPECT_GT(second.stats().memo_hit_rate(), 0.5);
+  EXPECT_EQ(plan_to_json(second.plan), plan_to_json(first.plan));
+}
+
+}  // namespace
+}  // namespace rannc

@@ -28,12 +28,12 @@ using serve::StoredEntry;
 // ---- helpers ---------------------------------------------------------------
 
 /// Small search: MLP on 1 node x 2 devices solves in milliseconds.
-PartitionConfig small_cfg(std::int64_t batch = 16) {
-  PartitionConfig cfg;
-  cfg.cluster.num_nodes = 1;
-  cfg.cluster.devices_per_node = 2;
-  cfg.batch_size = batch;
-  return cfg;
+SearchRequest small_cfg(std::int64_t batch = 16) {
+  SearchRequest req;
+  req.cluster.num_nodes = 1;
+  req.cluster.devices_per_node = 2;
+  req.batch_size = batch;
+  return req;
 }
 
 ModelSpec mlp_spec() {
@@ -45,7 +45,7 @@ ModelSpec mlp_spec() {
 ServeRequest mlp_request(std::int64_t batch = 16) {
   ServeRequest r;
   r.model = mlp_spec();
-  r.cfg = small_cfg(batch);
+  r.search = small_cfg(batch);
   return r;
 }
 
@@ -236,10 +236,10 @@ TEST(Fingerprint, MalformedGraphThrows) {
 
 TEST(MemoJson, ExactRoundTripAndWarmSearch) {
   const BuiltModel m = serve::build_model(mlp_spec());
-  PartitionConfig cfg = small_cfg();
+  SearchRequest cfg = small_cfg();
   auto memo1 = std::make_shared<ProfileMemo>();
   cfg.shared_memo = memo1;
-  const PartitionResult r1 = auto_partition(m.graph, cfg);
+  const PartitionResult r1 = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(r1.feasible);
   ASSERT_GT(memo1->size(), 0u);
 
@@ -249,9 +249,9 @@ TEST(MemoJson, ExactRoundTripAndWarmSearch) {
   EXPECT_EQ(memo2->size(), memo1->size());
   EXPECT_EQ(memo2->to_json(), snap);  // byte-exact round trip
 
-  PartitionConfig cfg2 = small_cfg();
+  SearchRequest cfg2 = small_cfg();
   cfg2.shared_memo = memo2;
-  const PartitionResult r2 = auto_partition(m.graph, cfg2);
+  const PartitionResult r2 = auto_partition(m.graph, cfg2).plan;
   EXPECT_EQ(r2.stats.memo_misses, 0);  // every profile restored
   EXPECT_GT(r2.stats.memo_hits, 0);
   EXPECT_EQ(plan_to_json(r2), plan_to_json(r1));
@@ -275,7 +275,7 @@ TEST(MemoJson, SerializationIsEntryOrderIndependent) {
 
 TEST(MemoJson, RejectsTruncatedAndCorruptSnapshots) {
   const BuiltModel m = serve::build_model(mlp_spec());
-  PartitionConfig cfg = small_cfg();
+  SearchRequest cfg = small_cfg();
   auto memo = std::make_shared<ProfileMemo>();
   cfg.shared_memo = memo;
   (void)auto_partition(m.graph, cfg);
@@ -410,7 +410,7 @@ TEST_F(PlanStoreTest, SiblingMemoFoundAcrossGeometries) {
   EXPECT_EQ(*memo, entry().memo_json);
 
   // A different cost model is not a sibling.
-  PartitionConfig other = small_cfg(32);
+  SearchRequest other = small_cfg(32);
   other.precision = Precision::Mixed;
   EXPECT_FALSE(
       store.load_sibling_memo(serve::make_plan_key(fp_, other)).has_value());
@@ -436,9 +436,9 @@ TEST(PlanServerTest, MissThenHitAndPlanIsBitIdenticalToDirect) {
   // Bit-identity against direct auto_partition at several thread counts.
   const BuiltModel m = serve::build_model(mlp_spec());
   for (int threads : {1, 2, 8}) {
-    PartitionConfig cfg = small_cfg();
-    cfg.threads = threads;
-    EXPECT_EQ(plan_to_json(auto_partition(m.graph, cfg)), r1.plan_json)
+    SearchRequest cfg = small_cfg();
+    cfg.budget.threads = threads;
+    EXPECT_EQ(plan_to_json(auto_partition(m.graph, cfg).plan), r1.plan_json)
         << "threads=" << threads;
   }
 
@@ -514,11 +514,11 @@ TEST(PlanServerTest, FingerprintKeyedHitAcrossSpecSpellings) {
 TEST(PlanServerTest, InfeasibleResultsAreCachedToo) {
   PlanServer server(ServeOptions{});
   ServeRequest req = mlp_request();
-  req.cfg.cluster.num_nodes = 1;
-  req.cfg.cluster.devices_per_node = 1;
+  req.search.cluster.num_nodes = 1;
+  req.search.cluster.devices_per_node = 1;
   // Small but positive: usable_memory() of 0 would disable the memory
   // check entirely, while ~1 KiB cannot hold even one MLP layer.
-  req.cfg.cluster.device.memory_bytes = 1024;
+  req.search.cluster.device.memory_bytes = 1024;
   const ServeResponse r1 = server.handle(req);
   ASSERT_EQ(r1.status, ServeResponse::Status::Miss) << r1.error;
   EXPECT_TRUE(r1.infeasible);
@@ -546,9 +546,9 @@ TEST(PlanServerTest, ConcurrentDuplicatesCoalesceOntoOneSearch) {
   std::promise<void> release;
   std::shared_future<void> gate = release.get_future().share();
   ServeOptions o;
-  o.search_fn = [gate](const TaskGraph& g, const PartitionConfig& cfg) {
+  o.search_fn = [gate](const TaskGraph& g, const SearchRequest& req) {
     gate.wait();  // hold the leader's search open
-    return auto_partition(g, cfg);
+    return auto_partition(g, req);
   };
   PlanServer server(o);
 
@@ -584,9 +584,9 @@ TEST(PlanServerTest, MissesBeyondTheQueueBoundAreShed) {
   std::shared_future<void> gate = release.get_future().share();
   ServeOptions o;
   o.max_queue = 1;
-  o.search_fn = [gate](const TaskGraph& g, const PartitionConfig& cfg) {
+  o.search_fn = [gate](const TaskGraph& g, const SearchRequest& req) {
     gate.wait();
-    return auto_partition(g, cfg);
+    return auto_partition(g, req);
   };
   PlanServer server(o);
 

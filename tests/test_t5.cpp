@@ -99,14 +99,14 @@ TEST(T5, AutoPartitionHandlesCrossAttentionFanOut) {
   T5Config c = tiny_t5();
   c.layers = 4;
   BuiltModel m = build_t5(c);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.cluster.num_nodes = 1;
   cfg.cluster.devices_per_node = 4;
   // Force pipelining despite the tiny model.
   cfg.cluster.device.memory_bytes = 5 * m.graph.num_params() * 4;
   cfg.batch_size = 16;
   cfg.num_blocks = 8;
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(r.feasible) << r.infeasible_reason;
   EXPECT_TRUE(validate_plan(r, cfg).empty());
   // With >= 2 stages and the encoder cut from some decoder layers, the
@@ -129,9 +129,9 @@ TEST(T5, BigConfigPartitionsOnPaperCluster) {
   c.seq_len = 512;
   BuiltModel m = build_t5(c);
   EXPECT_GT(m.graph.num_params(), 6'000'000'000LL);
-  PartitionConfig cfg;
+  SearchRequest cfg;
   cfg.batch_size = 256;
-  PartitionResult r = auto_partition(m.graph, cfg);
+  PartitionResult r = auto_partition(m.graph, cfg).plan;
   ASSERT_TRUE(r.feasible) << r.infeasible_reason;
   EXPECT_GE(r.stages.size(), 2u);
   EXPECT_TRUE(validate_plan(r, cfg).empty());

@@ -5,10 +5,10 @@ Usage:
     bench_sentinel.py --build-dir build [--quick] [--baseline-dir .]
                       [--work-dir DIR] [--skip NAME ...]
 
-Re-runs the four benchmark suites (bench_partitioner, bench_serve,
-bench_runtime, bench_comm_fabric) and compares their fresh JSON output
-against the committed BENCH_{PARTITIONER,SERVE,RUNTIME,COMM_FABRIC}.json
-baselines. Wall-clock timings are machine-dependent and never compared;
+Re-runs the five benchmark suites (bench_partitioner, bench_serve,
+bench_runtime, bench_comm_fabric, bench_search_scale) and compares their
+fresh JSON output against the committed
+BENCH_{PARTITIONER,SERVE,RUNTIME,COMM_FABRIC,SEARCH}.json baselines. Wall-clock timings are machine-dependent and never compared;
 the sentinel guards the *deterministic* surface:
 
   partitioner   geometries matched by (name, batch_size): task counts,
@@ -26,6 +26,17 @@ the sentinel guards the *deterministic* surface:
   comm_fabric   rows matched by (op, bytes, ranks, spans_nodes):
                 analytic_s and simulated_s are pure virtual time and must
                 match to 1e-9 relative.
+  search        scenarios matched by name: every engine must be feasible
+                and all three (exhaustive, pruned, sharded) must agree on
+                the plan. DP-cell counts, profile/bound queries and the
+                prune counters must be identical to the baseline for the
+                engines whose counters are scheduling-independent
+                (exhaustive, sharded-*); the unsharded pruned engine's
+                counters depend on incumbent-cut timing across threads,
+                so it is only required never to visit more cells than
+                exhaustive. The 10x cells/speedup gate is enforced on
+                full-size runs; a --quick rerun checks the small
+                scenarios instead.
 
 Rows/geometries/phases present only in the baseline (e.g. a --quick run
 covers a subset) are skipped with a note, never failed; invariant gates
@@ -42,7 +53,7 @@ import os
 import subprocess
 import sys
 
-BENCHES = ["partitioner", "serve", "runtime", "comm_fabric"]
+BENCHES = ["partitioner", "serve", "runtime", "comm_fabric", "search"]
 REL_TOL = 1e-9
 
 
@@ -172,16 +183,84 @@ def check_comm_fabric(s, base, cur):
                 s.fail(f"{key}.{field}: {r[field]} != baseline {b[field]}")
 
 
+def check_search(s, base, cur):
+    # Invariants on the current run: all engines feasible, and the pruned /
+    # sharded engines must produce the exhaustive engine's plan bit for bit.
+    for sc in cur.get("scenarios", []):
+        key = f"search/{sc['name']}"
+        s.expect(sc.get("plans_identical") is True,
+                 f"{key}: engines disagree on the winning plan")
+        for e in sc.get("engines", []):
+            s.expect(e.get("feasible") is True,
+                     f"{key}/{e['label']}: engine found no feasible plan")
+    if cur.get("quick") is False:
+        # The 10x acceptance gate only means anything on the full-size
+        # scenario; quick reruns cover the small scenarios.
+        s.expect(cur.get("gate_10x") is True,
+                 "search: pruned engine lost the 10x cells/speedup gate")
+    # Drift: the search-work counters are deterministic per scenario and
+    # engine, independent of thread count and machine speed.
+    base_scs = {sc["name"]: sc for sc in base.get("scenarios", [])}
+    for sc in cur.get("scenarios", []):
+        b_sc = base_scs.get(sc["name"])
+        key = f"search/{sc['name']}"
+        if b_sc is None:
+            s.note(f"{key}: no matching baseline scenario, drift check "
+                   "skipped")
+            continue
+        s.expect(sc["tasks"] == b_sc["tasks"],
+                 f"{key}: task count {sc['tasks']} != baseline "
+                 f"{b_sc['tasks']}")
+        engines = {e["label"]: e for e in sc.get("engines", [])}
+        ex = engines.get("exhaustive")
+        base_engines = {e["label"]: e for e in b_sc.get("engines", [])}
+        for e in sc.get("engines", []):
+            b = base_engines.get(e["label"])
+            if b is None:
+                s.note(f"{key}/{e['label']}: no baseline engine")
+                continue
+            if e["label"] == "pruned":
+                # The unsharded incumbent engine's counters depend on cut
+                # timing across worker threads (a stale incumbent read only
+                # prunes less), so exact counts vary run to run. The plan is
+                # still bit-identical (checked above); the only deterministic
+                # counter claim is that pruning never does MORE work.
+                if ex is not None:
+                    s.expect(e["dp_cells"] <= ex["dp_cells"],
+                             f"{key}/pruned: visited more DP cells "
+                             f"({e['dp_cells']}) than exhaustive "
+                             f"({ex['dp_cells']})")
+                s.note(f"{key}/pruned: counters are cut-timing-dependent, "
+                       "exact drift check skipped")
+                continue
+            # exhaustive (no cuts) and sharded-* (incumbent frozen within
+            # rounds) have scheduling-independent counters.
+            for field in ("dp_cells", "profile_queries", "bound_queries",
+                          "jobs_pruned", "jobs_dominated", "ranges_pruned",
+                          "columns_pruned", "paths_pruned",
+                          "incumbent_updates", "shard_rounds"):
+                s.expect(
+                    e[field] == b[field],
+                    f"{key}/{e['label']}.{field}: {e[field]} != "
+                    f"baseline {b[field]}")
+
+
 CHECKS = {
     "partitioner": check_partitioner,
     "serve": check_serve,
     "runtime": check_runtime,
     "comm_fabric": check_comm_fabric,
+    "search": check_search,
 }
 
 
+# Suites whose binary name differs from the BENCH_*.json stem.
+EXE_NAMES = {"search": "bench_search_scale"}
+
+
 def run_bench(name, build_dir, work_dir, quick):
-    exe = os.path.join(os.path.abspath(build_dir), "bench", f"bench_{name}")
+    exe = os.path.join(os.path.abspath(build_dir), "bench",
+                       EXE_NAMES.get(name, f"bench_{name}"))
     if not os.path.exists(exe):
         raise RuntimeError(f"benchmark binary not found: {exe}")
     out_path = os.path.join(work_dir, f"BENCH_{name.upper()}.json")

@@ -106,7 +106,7 @@ ArgParser::Status ArgParser::parse(int argc, char** argv) const {
 
 void register_model_flags(ArgParser& p, ModelOptions& o) {
   p.section("Model (0/unset = the builder's default)");
-  p.opt("--model", &o.model, "name", "mlp | bert | gpt2 | t5 | resnet");
+  p.opt("--model", &o.model, "name", "mlp | bert | gpt2 | t5 | resnet | moe");
   p.opt("--layers", &o.layers, "N", "transformer layers");
   p.opt("--hidden", &o.hidden, "N", "hidden width");
   p.opt("--seq", &o.seq, "N", "sequence length");
@@ -118,24 +118,44 @@ void register_model_flags(ArgParser& p, ModelOptions& o) {
   p.opt("--classes", &o.classes, "N", "output classes");
   p.opt("--batch", &o.batch, "N", "mlp per-step batch");
   p.opt("--input-dim", &o.input_dim, "N", "mlp input dimension");
+  p.opt("--experts", &o.experts, "N", "moe experts per layer");
 }
 
 BuiltModel build_model(const ModelOptions& o) { return serve::build_model(o); }
 
-void register_cluster_flags(ArgParser& p, ClusterOptions& o) {
-  p.section("Cluster / search (0/unset = config default)");
+void register_search_flags(ArgParser& p, SearchOptions& o) {
+  p.section("Cluster / search (0/unset = request default)");
   p.opt("--nodes", &o.nodes, "N", "cluster nodes");
   p.opt("--devices-per-node", &o.devices_per_node, "N", "devices per node");
   p.opt("--batch-size", &o.batch_size, "N", "global batch size");
   p.opt("--threads", &o.threads, "N",
         "search worker threads (0 = RANNC_THREADS env, else 1)");
+  p.opt("--shards", &o.shards, "N",
+        "simulated searcher ranks for the sharded sweep (1 = live mode)");
+  p.opt("--max-dp-cells", &o.max_dp_cells, "N",
+        "abort the search beyond this many DP cells (0 = unlimited)");
+  p.opt("--blocks", &o.blocks, "N", "target coarsened block count");
+  p.opt("--memory-margin", &o.memory_margin, "F",
+        "usable fraction of device memory");
+  p.flag("--no-coarsening", &o.no_coarsening,
+         "search over atomic units instead of blocks");
+  p.flag("--no-prune", &o.no_prune,
+         "disable branch-and-bound pruning (exhaustive sweep)");
+  p.flag("--no-memo", &o.no_memo, "disable the profile memo cache");
 }
 
-void apply_cluster(const ClusterOptions& o, PartitionConfig& cfg) {
-  if (o.nodes) cfg.cluster.num_nodes = o.nodes;
-  if (o.devices_per_node) cfg.cluster.devices_per_node = o.devices_per_node;
-  if (o.batch_size) cfg.batch_size = o.batch_size;
-  cfg.threads = o.threads;
+void apply_search(const SearchOptions& o, SearchRequest& req) {
+  if (o.nodes) req.cluster.num_nodes = o.nodes;
+  if (o.devices_per_node) req.cluster.devices_per_node = o.devices_per_node;
+  if (o.batch_size) req.batch_size = o.batch_size;
+  req.budget.threads = o.threads;
+  if (o.shards) req.shard.shards = o.shards;
+  if (o.max_dp_cells >= 0) req.budget.max_dp_cells = o.max_dp_cells;
+  if (o.blocks) req.num_blocks = static_cast<int>(o.blocks);
+  if (o.memory_margin > 0) req.memory_margin = o.memory_margin;
+  if (o.no_coarsening) req.use_coarsening = false;
+  if (o.no_prune) req.prune.enabled = false;
+  if (o.no_memo) req.profile_memo = false;
 }
 
 }  // namespace cli

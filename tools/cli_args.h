@@ -83,18 +83,28 @@ void register_model_flags(ArgParser& p, ModelOptions& o);
 /// or empty --model. Thin wrapper over serve::build_model.
 BuiltModel build_model(const ModelOptions& o);
 
-/// Cluster geometry and partition-search knobs shared by the tools.
-struct ClusterOptions {
+/// Cluster geometry, search budget, and pruning/sharding knobs shared by
+/// every tool that runs the partition search (rannc-lint, rannc-sim,
+/// rannc-serve, ...). One flag group mapping 1:1 onto SearchRequest, so
+/// the tools accept identical spellings and build identical requests.
+struct SearchOptions {
   int nodes = 0, devices_per_node = 0;
   std::int64_t batch_size = 0;
   int threads = 0;
+  int shards = 0;                  ///< 0 = keep SearchRequest default (1)
+  std::int64_t max_dp_cells = -1;  ///< -1 = keep default; 0 = unlimited
+  std::int64_t blocks = 0;
+  double memory_margin = 0;
+  bool no_coarsening = false;
+  bool no_prune = false;
+  bool no_memo = false;
 };
 
-/// Registers --nodes/--devices-per-node/--batch-size/--threads into `p`.
-void register_cluster_flags(ArgParser& p, ClusterOptions& o);
+/// Registers the shared search flag group into `p`.
+void register_search_flags(ArgParser& p, SearchOptions& o);
 
-/// Overlays the non-zero fields onto a PartitionConfig.
-void apply_cluster(const ClusterOptions& o, PartitionConfig& cfg);
+/// Overlays the explicitly-set fields onto a SearchRequest.
+void apply_search(const SearchOptions& o, SearchRequest& req);
 
 }  // namespace cli
 }  // namespace rannc

@@ -37,7 +37,7 @@ using namespace rannc;
 
 struct Options {
   cli::ModelOptions model;
-  cli::ClusterOptions cluster;
+  cli::SearchOptions search;
   std::string out_file = "explain.json";
   bool table = false;
   bool quiet = false;
@@ -87,9 +87,9 @@ int run(const Options& o) {
   obs::set_thread_name("main");
   const BuiltModel m = cli::build_model(o.model);
 
-  PartitionConfig cfg;
-  cli::apply_cluster(o.cluster, cfg);
-  const PartitionResult plan = auto_partition(m.graph, cfg);
+  SearchRequest req;
+  cli::apply_search(o.search, req);
+  const PartitionResult plan = auto_partition(m.graph, req).plan;
   if (!plan.feasible) {
     RANNC_LOG_ERROR("partition infeasible (" << plan.infeasible_reason
                                              << "); nothing to attribute");
@@ -104,7 +104,7 @@ int run(const Options& o) {
   for (int s = 0; s < S; ++s) {
     const StagePlan& sp = plan.stages[static_cast<std::size_t>(s)];
     const double comm =
-        s + 1 < S ? partitioner_comm_time(cfg.cluster, sp.comm_out_bytes) : 0.0;
+        s + 1 < S ? partitioner_comm_time(req.cluster, sp.comm_out_bytes) : 0.0;
     st[static_cast<std::size_t>(s)] = {sp.t_f, sp.t_b, comm};
   }
 
@@ -114,12 +114,12 @@ int run(const Options& o) {
   {
     std::ostringstream subject;
     subject << o.model.model << " S=" << S << " MB=" << plan.microbatches
-            << " nodes=" << cfg.cluster.num_nodes << "x"
-            << cfg.cluster.devices_per_node;
+            << " nodes=" << req.cluster.num_nodes << "x"
+            << req.cluster.devices_per_node;
     rep.subject = subject.str();
   }
 
-  replay_and_attach(rep, plan, cfg.cluster);
+  replay_and_attach(rep, plan, req.cluster);
 
   // What-if catalog: first-order estimates from the report, ground truth
   // by perturbing the simulator inputs and re-running the schedule.
@@ -264,7 +264,7 @@ int main(int argc, char** argv) {
                    "what-if estimates). Sub-mode: --diff A.json B.json "
                    "[--tol REL] compares two reports.");
   cli::register_model_flags(p, o.model);
-  cli::register_cluster_flags(p, o.cluster);
+  cli::register_search_flags(p, o.search);
   p.section("Outputs");
   p.opt("--out", &o.out_file, "FILE",
         "attribution report JSON (default explain.json)");

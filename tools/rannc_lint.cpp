@@ -31,7 +31,7 @@ using namespace rannc;
 
 struct Options {
   cli::ModelOptions model;
-  cli::ClusterOptions cluster;
+  cli::SearchOptions search;
   std::string plan_file;
   std::string dot_file;
   bool partition = false;
@@ -127,9 +127,9 @@ int run(const Options& o) {
       plan_graph = std::shared_ptr<const TaskGraph>(ap, &ap->graph);
     }
     plan.graph = plan_graph;
-    PartitionConfig cfg;
-    cli::apply_cluster(o.cluster, cfg);
-    const auto violations = validate_plan(plan, cfg);
+    SearchRequest req;
+    cli::apply_search(o.search, req);
+    const auto violations = validate_plan(plan, req);
     for (const PlanViolation& v : violations)
       std::cout << "plan violation: " << v.what << '\n';
     if (!o.quiet)
@@ -140,9 +140,10 @@ int run(const Options& o) {
   }
 
   if (o.partition) {
-    PartitionConfig cfg;
-    cli::apply_cluster(o.cluster, cfg);
-    const PartitionResult r = auto_partition(g, cfg);
+    SearchRequest req;
+    cli::apply_search(o.search, req);
+    const SearchResult sr = auto_partition(g, req);
+    const PartitionResult& r = sr.plan;
     std::cout << describe(r);
     std::cout << "search: " << r.stats.threads_used << " thread(s), "
               << r.stats.dp_invocations << " DP invocations, "
@@ -151,6 +152,17 @@ int run(const Options& o) {
               << r.stats.profile_queries_saved << " saved in-DP, memo hit rate "
               << r.stats.memo_hit_rate() << "), " << r.stats.search_seconds
               << "s sweep / " << r.stats.wall_seconds << "s total\n";
+    const PruneStats& pr = r.stats.prune;
+    std::cout << "prune: " << pr.jobs_pruned << " jobs pruned, "
+              << pr.jobs_dominated << " dominated, " << pr.ranges_pruned()
+              << " ranges cut, " << pr.columns_pruned << " columns, "
+              << pr.paths_pruned << " paths, " << pr.incumbent_updates
+              << " incumbent updates";
+    if (r.stats.shards_used > 1)
+      std::cout << "; " << r.stats.shards_used << " shards, "
+                << pr.shard_rounds << " rounds, " << pr.shard_sync_seconds
+                << "s simulated sync";
+    std::cout << "\n";
     bad = bad || !r.feasible;
   }
 
@@ -169,7 +181,7 @@ int main(int argc, char** argv) {
                    "Static analysis over the built-in models; optionally "
                    "validates a plan JSON or runs the partition search.");
   cli::register_model_flags(p, o.model);
-  cli::register_cluster_flags(p, o.cluster);
+  cli::register_search_flags(p, o.search);
   p.section("Actions");
   p.flag("--partition", &o.partition,
          "run auto_partition and print the plan + search stats");

@@ -36,6 +36,7 @@ namespace {
 using namespace rannc;
 
 struct Options {
+  cli::SearchOptions search;
   std::string store_dir;
   std::string input_file;
   std::string metrics_file;
@@ -50,6 +51,9 @@ int run(const Options& o) {
   so.store_dir = o.store_dir;
   so.max_queue = o.max_queue;
   so.persist = !o.no_persist;
+  // The shared search flag group becomes the daemon's request defaults:
+  // wire requests inherit them and override field by field.
+  cli::apply_search(o.search, so.request_defaults);
   serve::PlanServer server(so);
 
   std::ifstream file;
@@ -143,6 +147,7 @@ int main(int argc, char** argv) {
   cli::ArgParser p("rannc-serve",
                    "Long-lived partition service: newline-delimited JSON "
                    "requests on stdin, one reply line each on stdout.");
+  cli::register_search_flags(p, o.search);
   p.section("Service");
   p.opt("--store", &o.store_dir, "DIR",
         "durable plan/memo store directory (empty = memory only)");

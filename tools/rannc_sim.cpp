@@ -29,7 +29,7 @@ using namespace rannc;
 
 struct Options {
   cli::ModelOptions model;
-  cli::ClusterOptions cluster;
+  cli::SearchOptions search;
   std::string faults_file;
   int steps = 4;
   int max_attempts = 3;
@@ -48,14 +48,14 @@ int run(const Options& o) {
   const resilience::FaultPlan faults =
       resilience::FaultPlan::load(o.faults_file);
 
-  PartitionConfig cfg;
-  cli::apply_cluster(o.cluster, cfg);
+  SearchRequest req;
+  cli::apply_search(o.search, req);
 
   resilience::SimOptions so;
   so.steps = o.steps;
   so.retry.max_attempts = o.max_attempts;
   const resilience::SimResult res =
-      resilience::simulate_with_faults(m.graph, cfg, faults, so);
+      resilience::simulate_with_faults(m.graph, req, faults, so);
 
   if (!o.quiet) {
     std::cout << "initial plan: " << res.initial_plan.stages.size()
@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
                    "under a JSON fault schedule, exercising retry, rollback "
                    "and elastic recovery.");
   cli::register_model_flags(p, o.model);
-  cli::register_cluster_flags(p, o.cluster);
+  cli::register_search_flags(p, o.search);
   p.section("Simulation");
   p.opt("--faults", &o.faults_file, "FILE", "fault schedule JSON (required)");
   p.opt("--steps", &o.steps, "N", "training steps to replay (default 4)");

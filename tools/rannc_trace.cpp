@@ -32,7 +32,7 @@ using namespace rannc;
 
 struct Options {
   cli::ModelOptions model;
-  cli::ClusterOptions cluster;
+  cli::SearchOptions search;
   std::string trace_file = "trace.json";
   std::string metrics_file = "metrics.json";
   bool quiet = false;
@@ -97,9 +97,9 @@ int run(const Options& o) {
 
   const BuiltModel m = cli::build_model(o.model);
 
-  PartitionConfig cfg;
-  cli::apply_cluster(o.cluster, cfg);
-  const PartitionResult plan = auto_partition(m.graph, cfg);
+  SearchRequest req;
+  cli::apply_search(o.search, req);
+  const PartitionResult plan = auto_partition(m.graph, req).plan;
   if (!o.quiet) std::cout << describe(plan);
 
   if (plan.feasible) {
@@ -119,7 +119,7 @@ int run(const Options& o) {
     obs::MetricsRegistry& mreg = obs::metrics();
     mreg.gauge("sim.iteration_time").set(sched.iteration_time);
     mreg.gauge("sim.bubble_fraction").set(sched.bubble_fraction);
-    replay_fabric(rec, plan, cfg.cluster);
+    replay_fabric(rec, plan, req.cluster);
   } else {
     RANNC_LOG_WARN("partition infeasible (" << plan.infeasible_reason
                                             << "); trace has search events "
@@ -149,7 +149,7 @@ int main(int argc, char** argv) {
                    "Runs the partition search plus a virtual-time replay of "
                    "the winning plan and writes trace/metrics JSON.");
   cli::register_model_flags(p, o.model);
-  cli::register_cluster_flags(p, o.cluster);
+  cli::register_search_flags(p, o.search);
   p.section("Outputs");
   p.opt("--trace", &o.trace_file, "FILE",
         "Chrome trace-event JSON (default trace.json)");
